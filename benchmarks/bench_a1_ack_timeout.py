@@ -1,0 +1,44 @@
+"""A1 — ablation: the delivery-mode acknowledgement timeout (DESIGN.md §5).
+
+The ack timeout is SIMBA's only tunable on the critical path: too small and
+healthy deliveries fall back prematurely (wasted messages + duplicates at
+MAB), too large and genuinely-stuck deliveries stall for the full wait.
+"""
+
+from repro.experiments.ablations import run_ack_timeout_sweep
+from repro.metrics.reports import format_table
+
+
+def test_a1_ack_timeout_tradeoff(benchmark):
+    points = benchmark.pedantic(
+        run_ack_timeout_sweep, kwargs={"n_alerts": 120, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["ack timeout", "delivered", "premature fallbacks",
+             "duplicates at MAB", "mean source latency"],
+            [
+                [f"{p.ack_timeout:.0f} s", f"{p.delivered_ratio:.3f}",
+                 p.premature_fallbacks, p.duplicates_at_mab,
+                 f"{p.mean_source_latency:.2f} s"]
+                for p in points
+            ],
+            title="A1: ack-timeout sweep under periodic MAB hangs",
+        )
+    )
+    by_timeout = {p.ack_timeout: p for p in points}
+    # Everything is eventually delivered at every setting (email backup).
+    assert all(p.delivered_ratio > 0.99 for p in points)
+    # A 2 s timeout races the ~1.4 s ack RTT: premature fallbacks + dups.
+    assert by_timeout[2.0].premature_fallbacks > 0
+    assert by_timeout[2.0].duplicates_at_mab > 0
+    # From 5 s up the timeout clears the healthy-path RTT: no waste.
+    for timeout in (5.0, 15.0, 60.0):
+        assert by_timeout[timeout].premature_fallbacks == 0
+    # The cost of patience: stall time during hangs grows with the timeout.
+    assert (
+        by_timeout[60.0].mean_source_latency
+        > by_timeout[5.0].mean_source_latency
+    )

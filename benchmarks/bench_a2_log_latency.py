@@ -1,0 +1,41 @@
+"""A2 — ablation: pessimistic-log write latency on the ack path.
+
+Decomposes the paper's E2 number: the measured ack round trip should be
+(one-way IM) + (synchronous log write) + (one-way IM), i.e. grow linearly
+with the write latency with slope 1.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_log_latency_sweep
+from repro.metrics.reports import format_table
+
+
+def test_a2_log_write_latency_decomposition(benchmark):
+    points = benchmark.pedantic(
+        run_log_latency_sweep, kwargs={"n_alerts": 100, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["log write latency", "ack RTT mean", "ack RTT median"],
+            [
+                [f"{p.write_latency:.2f} s", f"{p.ack_rtt.mean:.2f} s",
+                 f"{p.ack_rtt.median:.2f} s"]
+                for p in points
+            ],
+            title="A2: ack round trip vs pessimistic-log write latency",
+        )
+    )
+    base = points[0].ack_rtt.mean  # write latency 0: pure 2x one-way IM
+    assert 0.6 < base < 1.4
+    for point in points[1:]:
+        # Slope 1: each extra second of write latency costs exactly one
+        # second of ack RTT (same seed → same channel draws).
+        assert point.ack_rtt.mean == pytest.approx(
+            base + point.write_latency, abs=0.05
+        )
+    # The paper's configuration (0.5 s write) lands on its ~1.5 s figure.
+    half = next(p for p in points if p.write_latency == 0.5)
+    assert 1.1 < half.ack_rtt.mean < 1.8

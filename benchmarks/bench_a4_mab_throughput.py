@@ -1,0 +1,92 @@
+"""A4 — MyAlertBuddy saturation: sustainable alert rate of one daemon.
+
+The paper runs MAB as a single sequential daemon on the user's desktop PC
+(§4): log-before-ack, classify, route, and wait for the block outcome, one
+alert at a time.  Per-user alert volume is tiny (§1: ~3.5 alerts/day), so
+this is fine in production — but a library user should know where the
+single-daemon design saturates.  This bench sweeps the offered Poisson rate
+and reports timeliness collapse past the service capacity (~0.2 alerts/s
+with an acknowledging user in the loop).
+"""
+
+from repro.metrics.reports import format_table
+from repro.metrics.stats import summarize
+from repro.sim.clock import MINUTE
+from repro.workloads.arrivals import poisson_arrival_times
+from repro.world import SimbaWorld, WorldConfig
+
+ON_TIME = 60.0
+
+
+def run_throughput_sweep(
+    rates=(0.05, 0.1, 0.2, 0.4), duration=30 * MINUTE, seed=0
+):
+    results = []
+    for rate in rates:
+        world = SimbaWorld(WorldConfig(seed=seed, email_loss=0.0, sms_loss=0.0))
+        user = world.create_user("alice", present=True)
+        deployment = world.create_buddy(user)
+        deployment.register_user_endpoint(user)
+        deployment.subscribe("News", user, "normal", keywords=["News"])
+        deployment.launch()
+        source = world.create_source("portal")
+        source.add_target(deployment.source_facing_book())
+        deployment.config.classifier.accept_source("portal")
+
+        times = poisson_arrival_times(
+            world.rngs.stream("arrivals"), rate=rate, duration=duration
+        )
+
+        def emitter(env):
+            for at in times:
+                if at > env.now:
+                    yield env.timeout(at - env.now)
+                source.emit("News", f"h{env.now:.0f}", "b")
+
+        world.env.process(emitter(world.env))
+        # Generous drain time so queued alerts can finish.
+        world.run(until=duration + 60 * MINUTE)
+        received = [r for r in user.receipts if not r.duplicate]
+        latencies = [r.latency for r in received]
+        on_time = sum(1 for lat in latencies if lat <= ON_TIME)
+        results.append(
+            {
+                "rate": rate,
+                "offered": len(times),
+                "delivered": len(received),
+                "on_time_ratio": on_time / len(times) if times else 0.0,
+                "latency": summarize(latencies),
+            }
+        )
+    return results
+
+
+def test_a4_mab_throughput_saturation(benchmark):
+    results = benchmark.pedantic(run_throughput_sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["offered rate", "alerts", "delivered", "on-time(<60s)",
+             "median latency", "p95 latency"],
+            [
+                [f"{r['rate']:.2f}/s", r["offered"], r["delivered"],
+                 f"{r['on_time_ratio']:.3f}",
+                 f"{r['latency'].median:.1f} s",
+                 f"{r['latency'].p95:.1f} s"]
+                for r in results
+            ],
+            title="A4: MAB single-daemon saturation sweep",
+        )
+    )
+    by_rate = {r["rate"]: r for r in results}
+    # Everything is eventually delivered at every rate (queueing, not loss).
+    for r in results:
+        assert r["delivered"] >= 0.97 * r["offered"]
+    # Below capacity, alerts are timely.
+    assert by_rate[0.05]["on_time_ratio"] > 0.95
+    assert by_rate[0.1]["on_time_ratio"] > 0.9
+    # Past capacity (~0.2/s service ceiling), timeliness collapses.
+    assert by_rate[0.4]["on_time_ratio"] < 0.5
+    assert (
+        by_rate[0.4]["latency"].median > 5 * by_rate[0.05]["latency"].median
+    )

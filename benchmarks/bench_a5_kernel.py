@@ -1,0 +1,75 @@
+"""A5 — simulation-kernel throughput (events/second of host CPU).
+
+Not a paper experiment: a library health metric.  Everything else in this
+repository rides on the kernel, so a regression here slows every bench.
+Unlike E1–E9 (single-shot pedantic runs), these use pytest-benchmark's
+normal repeated timing.
+"""
+
+from repro.sim import Environment, Store
+
+
+N_EVENTS = 20_000
+
+
+def timeout_churn():
+    """Schedule/fire N timeouts through one process."""
+    env = Environment()
+
+    def ticker(env):
+        for _ in range(N_EVENTS):
+            yield env.timeout(1.0)
+
+    env.process(ticker(env))
+    env.run()
+    return env.now
+
+
+def store_churn():
+    """N put/get handoffs between two processes."""
+    env = Environment()
+    store = Store(env)
+
+    def producer(env):
+        for index in range(N_EVENTS // 2):
+            yield store.put(index)
+
+    def consumer(env):
+        for _ in range(N_EVENTS // 2):
+            yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    return len(store)
+
+
+def process_spawn_churn():
+    """Spawn many short-lived processes (delivery processes look like this)."""
+    env = Environment()
+
+    def short(env):
+        yield env.timeout(1.0)
+
+    def spawner(env):
+        for _ in range(N_EVENTS // 4):
+            env.process(short(env))
+            yield env.timeout(0.1)
+
+    env.process(spawner(env))
+    env.run()
+    return env.now
+
+
+def test_a5_kernel_timeout_throughput(benchmark):
+    result = benchmark(timeout_churn)
+    assert result == float(N_EVENTS)
+
+
+def test_a5_kernel_store_throughput(benchmark):
+    result = benchmark(store_churn)
+    assert result == 0
+
+
+def test_a5_kernel_process_spawn_throughput(benchmark):
+    benchmark(process_spawn_churn)

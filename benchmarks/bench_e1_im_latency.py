@@ -1,0 +1,34 @@
+"""E1 — one-way IM delivery, source → MyAlertBuddy (§5).
+
+Paper: "The one-way IM delivery time from any of the alert sources to
+MyAlertBuddy is typically less than one second."
+"""
+
+from repro.experiments import run_im_one_way
+from repro.metrics.reports import format_table
+
+
+def test_e1_im_one_way_latency(benchmark):
+    summary = benchmark.pedantic(
+        run_im_one_way, kwargs={"n_alerts": 300, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["metric", "paper", "measured"],
+            [
+                ["one-way IM, typical (median)", "< 1 s", f"{summary.median:.2f} s"],
+                ["one-way IM, p90", "< 1 s", f"{summary.p90:.2f} s"],
+                ["one-way IM, mean", "—", f"{summary.mean:.2f} s"],
+                ["samples", "—", summary.count],
+            ],
+            title="E1: one-way IM delivery (source -> MyAlertBuddy)",
+        )
+    )
+    assert summary.count == 300
+    # Shape: "typically less than one second".
+    assert summary.median < 1.0
+    assert summary.p90 < 1.0
+    # And clearly an IM, not a store-and-forward channel.
+    assert summary.mean < 2.0

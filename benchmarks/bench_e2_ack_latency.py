@@ -1,0 +1,33 @@
+"""E2 — acknowledgement round trip with pessimistic logging (§5).
+
+Paper: "With pessimistic logging, the alert source receives an
+acknowledgement in about 1.5 seconds."
+"""
+
+from repro.experiments import run_ack_roundtrip, run_im_one_way
+from repro.metrics.reports import format_table
+
+
+def test_e2_ack_roundtrip_latency(benchmark):
+    summary = benchmark.pedantic(
+        run_ack_roundtrip, kwargs={"n_alerts": 300, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    one_way = run_im_one_way(n_alerts=100, seed=1)
+    print()
+    print(
+        format_table(
+            ["metric", "paper", "measured"],
+            [
+                ["ack round trip, mean", "~1.5 s", f"{summary.mean:.2f} s"],
+                ["ack round trip, median", "~1.5 s", f"{summary.median:.2f} s"],
+                ["one-way (for comparison)", "< 1 s", f"{one_way.mean:.2f} s"],
+                ["samples", "—", summary.count],
+            ],
+            title="E2: logged-ack round trip (source <- MyAlertBuddy)",
+        )
+    )
+    # Shape: about 1.5 s — between 1 and 2.5.
+    assert 1.0 < summary.mean < 2.5
+    # And strictly more than one-way plus the 0.5 s log write.
+    assert summary.mean > one_way.mean + 0.5

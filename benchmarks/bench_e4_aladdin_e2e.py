@@ -1,0 +1,36 @@
+"""E4 — Aladdin end-to-end: remote-control press to user IM popup (§5).
+
+Paper: "From the time the button on the remote control was pushed to the
+time an IM popped up on the user's screen, the end-to-end delivery took an
+average of 11 seconds."
+"""
+
+from repro.experiments import run_aladdin_disarm
+from repro.metrics.reports import format_table
+
+
+def test_e4_aladdin_end_to_end(benchmark):
+    result = benchmark.pedantic(
+        run_aladdin_disarm, kwargs={"n_presses": 60, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["metric", "paper", "measured"],
+            [
+                ["remote press -> user IM, mean", "~11 s", f"{result.end_to_end.mean:.2f} s"],
+                ["  of which: home chain (press -> alert)", "—",
+                 f"{result.press_to_gateway_alert.mean:.2f} s"],
+                ["  of which: SIMBA leg (alert -> user)", "—",
+                 f"{result.simba_delivery.mean:.2f} s"],
+                ["presses / receipts", "—", f"{result.presses} / {result.receipts}"],
+            ],
+            title="E4: Aladdin disarm-security scenario",
+        )
+    )
+    assert result.receipts == result.presses
+    # Shape: ~11 s — an order of magnitude above the bare SIMBA leg, driven
+    # by the powerline + polling home chain.
+    assert 7.0 < result.end_to_end.mean < 16.0
+    assert result.press_to_gateway_alert.mean > result.simba_delivery.mean

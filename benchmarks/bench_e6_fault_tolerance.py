@@ -1,0 +1,64 @@
+"""E6 — the one-month fault-tolerance evaluation (§5).
+
+Paper: "within a one-month period of time, there were five extended IM
+downtimes lasting from 4 to 103 minutes.  In addition, there were nine
+instances where MyAlertBuddy was logged out and simple re-logon attempts
+worked.  In another nine instances, the hanging IM client had to be killed
+and restarted in order to re-log in.  There were 36 restarts of MyAlertBuddy
+by the MDC ...  The fault-tolerance mechanisms effectively recovered
+MyAlertBuddy from all failures except three: one failure was caused by a
+rare power outage in the office; another two were caused by previously
+unknown dialog boxes."
+"""
+
+from repro.experiments import run_fault_month
+from repro.metrics.reports import format_table
+
+
+def test_e6_one_month_fault_log(benchmark):
+    result = benchmark.pedantic(
+        run_fault_month, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    fault_triggered_restarts = result.mdc_restarts - result.rejuvenations
+    print()
+    print(
+        format_table(
+            ["recovery-log category", "paper", "measured"],
+            [
+                ["extended IM downtimes", "5 (4-103 min)",
+                 f"{result.im_outages} "
+                 f"({min(result.im_outage_minutes):.0f}-"
+                 f"{max(result.im_outage_minutes):.0f} min)"],
+                ["simple re-logon repairs", "9", result.relogons],
+                ["IM client kill-and-restarts", "9", result.client_restarts],
+                ["MDC restarts of MAB (fault-triggered)", "36",
+                 fault_triggered_restarts],
+                ["  + scheduled/rejuvenation restarts", "—",
+                 result.rejuvenations],
+                ["machine reboots by MDC", "0 mentioned", result.reboots],
+                ["unrecovered failures", "3 (1 power, 2 dialogs)",
+                 result.unrecovered],
+                ["alerts emitted / received", "—",
+                 f"{result.alerts_emitted} / {result.alerts_received}"],
+                ["delivery ratio", "all but a handful",
+                 f"{result.delivery_ratio:.4f}"],
+                ["duplicates discarded by user", "timestamps allow discard",
+                 result.duplicates_at_user],
+                ["user IM latency (median)", "seconds",
+                 f"{result.user_latency.median:.2f} s"],
+            ],
+            title="E6: one-month fault injection against the full HA stack",
+        )
+    )
+    # Shape assertions mirroring the paper's log.
+    assert result.im_outages == 5
+    assert 4.0 <= min(result.im_outage_minutes)
+    assert max(result.im_outage_minutes) <= 103.0
+    assert result.client_restarts == 9
+    # 36 injected MAB faults -> 36 fault-triggered MDC restarts (nightly
+    # rejuvenations are orderly and counted separately).
+    assert 30 <= fault_triggered_restarts <= 45
+    assert result.unrecovered == 3
+    # Dependability: the stack keeps delivering through the faulty month.
+    assert result.delivery_ratio > 0.95
+    assert result.user_latency.median < 10.0

@@ -1,0 +1,42 @@
+"""E7 — the commercial-portal usage-log aggregates (§1).
+
+Paper: "We analyzed a recent one-week usage log from a commercial portal
+site, and it showed that on average around 225 thousands of people received
+around 778 thousands of alerts every day from that site."
+"""
+
+from repro.experiments import run_portal_log
+from repro.metrics.reports import format_table
+
+
+def test_e7_portal_usage_log(benchmark):
+    result = benchmark.pedantic(
+        run_portal_log,
+        kwargs={"seed": 0, "full_scale_days": 3},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["metric", "paper", "measured"],
+            [
+                ["alerts per day (full scale)", "~778,000",
+                 f"{result.mean_alerts_per_day:,.0f}"],
+                ["distinct recipients per day", "~225,000",
+                 f"{result.mean_users_per_day:,.0f}"],
+                ["alerts per recipient per day", "~3.46",
+                 f"{result.alerts_per_user:.2f}"],
+                ["replay through real MABs", "—",
+                 f"{result.replay_users} users, {result.replay_alerts} alerts"],
+                ["replay delivery ratio", "—",
+                 f"{result.replay_delivery_ratio:.3f}"],
+                ["replay median latency", "—",
+                 f"{result.replay_latency.median:.2f} s"],
+            ],
+            title="E7: portal usage-log scale reproduction",
+        )
+    )
+    assert 700_000 < result.mean_alerts_per_day < 850_000
+    assert 200_000 < result.mean_users_per_day < 250_000
+    assert result.replay_delivery_ratio > 0.95
+    assert result.replay_latency.median < 10.0

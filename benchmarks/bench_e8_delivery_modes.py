@@ -1,0 +1,64 @@
+"""E8 — SIMBA delivery modes vs email-only and blanket redundancy (§2.3/§3.1).
+
+Paper (qualitative): Aladdin's two-emails + two-SMS blanket redundancy gives
+"no guarantee that any of the four messages can reach the user in time" for
+critical alerts while "four messages per alert are irritating and
+cumbersome" for routine ones; SIMBA's IM-with-ack + fallback modes achieve
+timeliness without the spam.
+"""
+
+from repro.experiments import run_comparison
+from repro.experiments.delivery_comparison import ON_TIME_DEADLINE
+from repro.metrics.reports import format_table
+
+
+def test_e8_strategy_comparison(benchmark):
+    result = benchmark.pedantic(
+        run_comparison, kwargs={"seed": 0, "n_alerts": 240},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for metrics in result.strategies:
+        rows.append(
+            [
+                metrics.name,
+                f"{metrics.delivery_ratio:.3f}",
+                f"{metrics.on_time_ratio:.3f}",
+                f"{metrics.critical_on_time_ratio:.3f}",
+                f"{metrics.messages_per_alert:.2f}",
+                f"{metrics.latency.median:.1f} s",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "strategy",
+                "delivered",
+                f"on-time(<{ON_TIME_DEADLINE:.0f}s)",
+                "critical on-time",
+                "msgs/alert",
+                "median latency",
+            ],
+            rows,
+            title="E8: delivery strategies under identical workload + faults",
+        )
+    )
+    email = result.by_name("email-only")
+    redundant = result.by_name("redundant")
+    simba = result.by_name("simba")
+
+    # Who wins, by roughly what factor:
+    # 1. SIMBA beats both baselines on critical timeliness...
+    assert simba.critical_on_time_ratio > redundant.critical_on_time_ratio
+    assert simba.critical_on_time_ratio > 2.5 * email.critical_on_time_ratio
+    # 2. ...at a fraction of the message volume (irritation factor ~4x).
+    assert redundant.messages_per_alert > 3.0 * simba.messages_per_alert
+    assert simba.messages_per_alert < 1.5
+    # 3. Blanket redundancy still cannot guarantee timeliness (§2.3).
+    assert redundant.critical_on_time_ratio < 0.8
+    # 4. Email-only is the slowest (median, factor >= 10x vs SIMBA).
+    assert email.latency.median > 10 * simba.latency.median
+    # 5. Everyone eventually delivers most alerts (email loss is small).
+    for metrics in result.strategies:
+        assert metrics.delivery_ratio > 0.9

@@ -1,0 +1,92 @@
+"""E9 — ablation of the four §4.2.1 high-availability techniques.
+
+The paper argues each mechanism (pessimistic logging, the MDC watchdog,
+self-stabilization, the monkey thread) is load-bearing: "the fault-tolerance
+techniques for maintaining a highly available MyAlertBuddy have proven to be
+most critical and very successful."  This bench disables one technique at a
+time under the same one-month faultload, plus a targeted crash-after-ack
+demonstration for pessimistic logging (whose window is too narrow for a
+statistical month to exercise reliably).
+"""
+
+from repro.experiments import run_ha_ablation
+from repro.experiments.fault_tolerance import run_logging_window
+from repro.metrics.reports import format_table
+from repro.sim.clock import MINUTE
+
+
+def run_all():
+    month = run_ha_ablation(seed=0, alert_period=10 * MINUTE)
+    window = [
+        run_logging_window(seed=0, n_alerts=20, logging_enabled=True),
+        run_logging_window(seed=0, n_alerts=20, logging_enabled=False),
+    ]
+    return month, window
+
+
+def test_e9_ha_ablation(benchmark):
+    month, window = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    by_label = {r.label: r for r in month}
+    rows = [
+        [
+            r.label,
+            f"{r.delivery_ratio:.4f}",
+            f"{r.im_path_ratio:.3f}",
+            r.mdc_restarts,
+            r.relogons,
+            r.client_restarts,
+        ]
+        for r in month
+    ]
+    print()
+    print(
+        format_table(
+            ["variant", "delivered", "via IM (timely)", "MDC restarts",
+             "re-logons", "client restarts"],
+            rows,
+            title="E9a: one-month faultload, one HA technique removed at a time",
+        )
+    )
+    logged, unlogged = window
+    print()
+    print(
+        format_table(
+            ["pessimistic logging", "acked by MAB", "acked-but-lost",
+             "recovery replays"],
+            [
+                ["enabled", logged.acked_by_mab, logged.acked_but_lost,
+                 logged.recovery_replays],
+                ["DISABLED", unlogged.acked_by_mab, unlogged.acked_but_lost,
+                 unlogged.recovery_replays],
+            ],
+            title="E9b: crash-after-ack window (20 forced crashes)",
+        )
+    )
+
+    full = by_label["full-stack"]
+    assert full.delivery_ratio > 0.95
+    assert full.im_path_ratio > 0.95
+
+    # No watchdog: the first unrecovered MAB crash is fatal — collapse.
+    no_watchdog = by_label["no-watchdog"]
+    assert no_watchdog.delivery_ratio < 0.5 * full.delivery_ratio
+
+    # No monkey thread: blocking dialog boxes accumulate on screen and stall
+    # both communication clients — delivery collapses too.
+    no_monkey = by_label["no-monkey"]
+    assert no_monkey.delivery_ratio < 0.5 * full.delivery_ratio
+
+    # No self-stabilization: logouts and outage recoveries go unrepaired
+    # between restarts.  Email fallback hides most of the *loss* (that is
+    # the architecture working as designed) but timeliness degrades: far
+    # fewer alerts arrive on the fast IM path, and nothing re-logs in.
+    no_stab = by_label["no-stabilization"]
+    assert no_stab.relogons == 0
+    assert no_stab.im_path_ratio < full.im_path_ratio - 0.10
+
+    # Pessimistic logging: without it, alerts whose ack the source received
+    # are silently lost in crashes; with it, every one is replayed.
+    assert logged.acked_but_lost == 0
+    assert logged.recovery_replays > 0
+    assert unlogged.acked_but_lost >= 3
+    assert unlogged.recovery_replays == 0

@@ -1,0 +1,101 @@
+"""The §3.3 dynamic-customization scenario, end to end.
+
+Alice subscribes to three services — Yahoo! stock quotes, Wall Street
+Journal financial news and CBS MarketWatch columns — and aggregates all of
+them into one personal "Investment" category.  The script then walks the
+paper's three §3.3 situations:
+
+1. She needs timely investment decisions → switch the whole category from
+   digest email to IM, with ONE change at MyAlertBuddy (not three services).
+2. Her cell phone dies while travelling → disable the SMS address; blocks
+   containing SMS actions automatically fall back.
+3. She wants no distractions at night → a delivery window on the category.
+
+Run:  python examples/investment_alerts.py
+"""
+
+from repro import SimbaWorld, TimeWindow
+from repro.sim import HOUR, MINUTE
+
+
+def emit_round(sources, tag):
+    for name, source in sources.items():
+        keyword = {"yahoo": "Stocks", "wsj": "Financial news",
+                   "marketwatch": "Earnings reports"}[name]
+        source.emit(keyword, f"{keyword}: {tag}", f"{tag} from {name}")
+
+
+def show(alice, since, label):
+    fresh = [r for r in alice.receipts if r.at >= since]
+    print(f"  -> {label}: "
+          + (", ".join(f"{r.channel.value} after {r.latency:.1f}s"
+                       for r in fresh) or "(nothing delivered)"))
+    return len(fresh)
+
+
+def main() -> None:
+    world = SimbaWorld(seed=11)
+    alice = world.create_user("alice", present=True)
+    buddy = world.create_buddy(alice)
+    buddy.register_user_endpoint(alice)
+
+    # Aggregation: three services' native keywords -> one personal category.
+    buddy.subscribe(
+        "Investment", alice, "digest",
+        keywords=["Stocks", "Financial news", "Earnings reports"],
+    )
+    sources = {name: world.create_source(name)
+               for name in ("yahoo", "wsj", "marketwatch")}
+    for source in sources.values():
+        source.add_target(buddy.source_facing_book())
+        buddy.config.classifier.accept_source(source.name)
+    buddy.launch()
+
+    print("=== Investment alerts: dynamic customization at MyAlertBuddy ===")
+
+    print("\n[1] Default: 'Investment' rides the digest mode (email only).")
+    mark = world.env.now
+    emit_round(sources, "morning digest")
+    world.run(until=world.env.now + 30 * MINUTE)
+    show(alice, mark, "digest mode")
+
+    print("\n[2] Earnings day: ONE change switches all three services to IM.")
+    subs = buddy.config.subscriptions
+    subs.unsubscribe("Investment", "alice")
+    subs.subscribe("Investment", "alice", "normal")  # IM-ack, email backup
+    mark = world.env.now
+    emit_round(sources, "earnings surprise")
+    world.run(until=world.env.now + 5 * MINUTE)
+    show(alice, mark, "after mode switch")
+
+    print("\n[3] Phone battery dies abroad: disable the SMS address.")
+    subs.unsubscribe("Investment", "alice")
+    subs.subscribe("Investment", "alice", "critical")  # IM -> SMS+email
+    alice.set_present(False)  # she is on a plane: no IM
+    subs.address_book("alice").set_enabled("SMS", False)
+    mark = world.env.now
+    emit_round(sources, "market crash")
+    world.run(until=world.env.now + 30 * MINUTE)
+    show(alice, mark, "SMS disabled, away from IM (email fallback)")
+    assert world.sms.stats.submitted == 0, "no SMS must have been attempted"
+
+    print("\n[4] Quiet hours: Investment alerts only 09:00-17:00.")
+    alice.set_present(True)
+    buddy.config.filters.set_delivery_window(
+        "Investment", TimeWindow(9 * HOUR, 17 * HOUR)
+    )
+    mark = world.env.now  # the sim clock is still in the small hours
+    emit_round(sources, "3am rumor")
+    world.run(until=world.env.now + 5 * MINUTE)
+    count = show(alice, mark, "inside quiet hours")
+    assert count == 0
+    filtered = buddy.journal.count("filtered")
+    print(f"  ({filtered} alerts suppressed by the filter, "
+          "still subscribed for later)")
+
+    print("\nAll §3.3 scenarios executed with changes at MAB only — the "
+          "three services were never touched.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment has no `wheel` package and no network,
+so editable installs must use the classic ``setup.py develop`` path.
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

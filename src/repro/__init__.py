@@ -1,0 +1,105 @@
+"""SIMBA: a dependable user alert service architecture — reproduction.
+
+This package reproduces Wang, Bahl & Russell, *The SIMBA User Alert Service
+Architecture for Dependable Alert Delivery* (DSN 2001), as a complete,
+simulation-backed Python library:
+
+- :mod:`repro.sim` — deterministic discrete-event kernel.
+- :mod:`repro.net` — IM / email / SMS channel substrates.
+- :mod:`repro.clients` — GUI client software with automation interfaces.
+- :mod:`repro.core` — the SIMBA library and MyAlertBuddy (delivery modes,
+  classification/aggregation/filtering/routing, exception-handling
+  automation, pessimistic logging, watchdog, self-stabilization,
+  rejuvenation).
+- :mod:`repro.sources` — information/web-store proxies, portals, the
+  desktop assistant; :mod:`repro.aladdin` — the home-networking system;
+  :mod:`repro.wish` — the wireless location system.
+- :mod:`repro.baselines`, :mod:`repro.workloads`, :mod:`repro.metrics`,
+  :mod:`repro.experiments` — evaluation machinery for every table/figure.
+- :mod:`repro.world` — one-stop assembly of a complete deployment.
+
+Quickstart::
+
+    from repro import SimbaWorld
+
+    world = SimbaWorld(seed=7)
+    alice = world.create_user("alice")
+    buddy = world.create_buddy(alice)
+    buddy.register_user_endpoint(alice)
+    buddy.subscribe("Investment", alice, "normal", keywords=["Stocks"])
+    buddy.launch()
+
+    portal = world.create_source("portal")
+    portal.add_target(buddy.source_facing_book())
+    buddy.config.classifier.accept_source("portal")
+
+    portal.emit("Stocks", "MSFT up 3%", "details...")
+    world.run(until=60)
+    print(alice.receipts)
+"""
+
+from repro.core import (
+    Action,
+    AddressBook,
+    Alert,
+    AlertClassifier,
+    AlertSeverity,
+    CommunicationBlock,
+    DeliveryMode,
+    DeliveryOutcome,
+    FilterPolicy,
+    MasterDaemonController,
+    MyAlertBuddy,
+    PessimisticLog,
+    SimbaEndpoint,
+    SubscriptionLayer,
+    TimeWindow,
+    UserAddress,
+    UserEndpoint,
+)
+from repro.core.delivery_modes import im_ack_then_email
+from repro.net import ChannelType, EmailService, IMService, LatencyModel, SMSGateway
+from repro.sim import Environment, RngRegistry
+from repro.world import (
+    BuddyDeployment,
+    SimbaWorld,
+    WorldConfig,
+    standard_modes,
+    standard_user_book,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Action",
+    "AddressBook",
+    "Alert",
+    "AlertClassifier",
+    "AlertSeverity",
+    "BuddyDeployment",
+    "ChannelType",
+    "CommunicationBlock",
+    "DeliveryMode",
+    "DeliveryOutcome",
+    "EmailService",
+    "Environment",
+    "FilterPolicy",
+    "IMService",
+    "LatencyModel",
+    "MasterDaemonController",
+    "MyAlertBuddy",
+    "PessimisticLog",
+    "RngRegistry",
+    "SMSGateway",
+    "SimbaEndpoint",
+    "SimbaWorld",
+    "SubscriptionLayer",
+    "TimeWindow",
+    "UserAddress",
+    "UserEndpoint",
+    "WorldConfig",
+    "im_ack_then_email",
+    "standard_modes",
+    "standard_user_book",
+    "__version__",
+]

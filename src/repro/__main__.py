@@ -1,0 +1,209 @@
+"""Command-line entry point: run any paper experiment and print its table.
+
+Usage::
+
+    python -m repro list           # show available experiments
+    python -m repro e1 [--seed N]  # run one experiment
+    python -m repro all            # run E1-E8 (E9 is slow; run explicitly)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.metrics.reports import format_table
+
+
+def _e1(seed: int) -> str:
+    from repro.experiments import run_im_one_way
+
+    summary = run_im_one_way(n_alerts=300, seed=seed)
+    return format_table(
+        ["metric", "paper", "measured"],
+        [
+            ["one-way IM, median", "< 1 s", f"{summary.median:.2f} s"],
+            ["one-way IM, p90", "< 1 s", f"{summary.p90:.2f} s"],
+        ],
+        title="E1: one-way IM delivery (source -> MyAlertBuddy)",
+    )
+
+
+def _e2(seed: int) -> str:
+    from repro.experiments import run_ack_roundtrip
+
+    summary = run_ack_roundtrip(n_alerts=300, seed=seed)
+    return format_table(
+        ["metric", "paper", "measured"],
+        [["ack round trip, mean", "~1.5 s", f"{summary.mean:.2f} s"]],
+        title="E2: logged-ack round trip",
+    )
+
+
+def _e3(seed: int) -> str:
+    from repro.experiments import run_proxy_routing
+
+    summary = run_proxy_routing(n_changes=120, seed=seed)
+    return format_table(
+        ["metric", "paper", "measured"],
+        [["proxy -> MAB -> user, mean", "~2.5 s", f"{summary.mean:.2f} s"]],
+        title="E3: proxy change to user IM",
+    )
+
+
+def _e4(seed: int) -> str:
+    from repro.experiments import run_aladdin_disarm
+
+    result = run_aladdin_disarm(n_presses=60, seed=seed)
+    return format_table(
+        ["metric", "paper", "measured"],
+        [
+            ["remote press -> user IM, mean", "~11 s",
+             f"{result.end_to_end.mean:.2f} s"],
+            ["home chain", "—", f"{result.press_to_gateway_alert.mean:.2f} s"],
+            ["SIMBA leg", "—", f"{result.simba_delivery.mean:.2f} s"],
+        ],
+        title="E4: Aladdin end-to-end",
+    )
+
+
+def _e5(seed: int) -> str:
+    from repro.experiments import run_wish_location
+
+    result = run_wish_location(n_moves=60, seed=seed)
+    return format_table(
+        ["metric", "paper", "measured"],
+        [
+            ["laptop report -> subscriber IM, mean", "~5 s",
+             f"{result.report_to_im.mean:.2f} s"],
+            ["mean confidence", "%", f"{result.mean_confidence:.1f} %"],
+        ],
+        title="E5: WISH location alert",
+    )
+
+
+def _e6(seed: int) -> str:
+    from repro.experiments import run_fault_month
+
+    result = run_fault_month(seed=seed)
+    fault_triggered = result.mdc_restarts - result.rejuvenations
+    return format_table(
+        ["category", "paper", "measured"],
+        [
+            ["IM downtimes", "5 (4-103 min)",
+             f"{result.im_outages} ({min(result.im_outage_minutes):.0f}-"
+             f"{max(result.im_outage_minutes):.0f} min)"],
+            ["re-logons", "9", result.relogons],
+            ["client kill-restarts", "9", result.client_restarts],
+            ["MDC restarts (fault-triggered)", "36", fault_triggered],
+            ["unrecovered", "3", result.unrecovered],
+            ["delivery ratio", "—", f"{result.delivery_ratio:.4f}"],
+        ],
+        title="E6: one-month fault injection",
+    )
+
+
+def _e7(seed: int) -> str:
+    from repro.experiments import run_portal_log
+
+    result = run_portal_log(seed=seed, full_scale_days=2)
+    return format_table(
+        ["metric", "paper", "measured"],
+        [
+            ["alerts/day", "~778,000", f"{result.mean_alerts_per_day:,.0f}"],
+            ["recipients/day", "~225,000", f"{result.mean_users_per_day:,.0f}"],
+            ["replay delivery ratio", "—",
+             f"{result.replay_delivery_ratio:.3f}"],
+        ],
+        title="E7: portal usage-log scale",
+    )
+
+
+def _e8(seed: int) -> str:
+    from repro.experiments import run_comparison
+
+    result = run_comparison(seed=seed)
+    rows = [
+        [m.name, f"{m.delivery_ratio:.3f}", f"{m.critical_on_time_ratio:.3f}",
+         f"{m.messages_per_alert:.2f}", f"{m.latency.median:.1f} s"]
+        for m in result.strategies
+    ]
+    return format_table(
+        ["strategy", "delivered", "critical on-time", "msgs/alert",
+         "median latency"],
+        rows,
+        title="E8: SIMBA vs baselines",
+    )
+
+
+def _e9(seed: int) -> str:
+    from repro.experiments import run_ha_ablation
+    from repro.experiments.fault_tolerance import run_logging_window
+
+    month = run_ha_ablation(seed=seed)
+    rows = [
+        [r.label, f"{r.delivery_ratio:.4f}", f"{r.im_path_ratio:.3f}"]
+        for r in month
+    ]
+    logged = run_logging_window(seed=seed, logging_enabled=True)
+    unlogged = run_logging_window(seed=seed, logging_enabled=False)
+    rows.append(["(crash-after-ack, logging on)",
+                 f"acked-but-lost={logged.acked_but_lost}", "—"])
+    rows.append(["(crash-after-ack, logging off)",
+                 f"acked-but-lost={unlogged.acked_but_lost}", "—"])
+    return format_table(
+        ["variant", "delivered", "via IM"], rows, title="E9: HA ablation"
+    )
+
+
+EXPERIMENTS = {
+    "e1": ("one-way IM < 1 s", _e1),
+    "e2": ("logged ack ~1.5 s", _e2),
+    "e3": ("proxy -> user ~2.5 s", _e3),
+    "e4": ("Aladdin end-to-end ~11 s", _e4),
+    "e5": ("WISH location ~5 s", _e5),
+    "e6": ("one-month fault log", _e6),
+    "e7": ("portal scale 225k/778k", _e7),
+    "e8": ("SIMBA vs baselines", _e8),
+    "e9": ("HA ablation (slow)", _e9),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the SIMBA paper's experiments.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e1..e9), 'all' (e1-e8), or 'list'",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print(
+            format_table(
+                ["id", "claim"],
+                [[key, desc] for key, (desc, _fn) in EXPERIMENTS.items()],
+                title="available experiments",
+            )
+        )
+        return 0
+    if args.experiment == "all":
+        for key in ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"):
+            print(EXPERIMENTS[key][1](args.seed))
+            print()
+        return 0
+    entry = EXPERIMENTS.get(args.experiment.lower())
+    if entry is None:
+        parser.error(
+            f"unknown experiment {args.experiment!r} "
+            f"(choose from {', '.join(EXPERIMENTS)}, all, list)"
+        )
+    print(entry[1](args.seed))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""The Aladdin home networking system (§2.3, [9]).
+
+Aladdin "integrates diverse devices and sensors attached to heterogeneous
+in-home networks including powerline, phoneline, RF and IR, and connects
+them to the Internet through a home gateway machine".  Its state backbone is
+the Soft-State Store (SSS, §5): replicated soft-state variables with refresh
+frequencies and missing-refresh timeouts.
+
+This package reproduces the §5 end-to-end scenario hop by hop: remote
+control (RF) → powerline transceiver → powerline monitor on a PC → local SSS
+→ phoneline multicast replication → gateway SSS event → Aladdin home server
+→ SIMBA alert.
+"""
+
+from repro.aladdin.devices import (
+    RemoteControl,
+    SecuritySystem,
+    Sensor,
+    SensorState,
+)
+from repro.aladdin.gateway import AladdinGateway
+from repro.aladdin.networks import HomeNetwork, Transceiver
+from repro.aladdin.replication import ReplicationGroup
+from repro.aladdin.scenario import AladdinHome
+from repro.aladdin.sss import SoftStateStore, SoftStateVariable, SSSEvent
+
+__all__ = [
+    "AladdinGateway",
+    "AladdinHome",
+    "HomeNetwork",
+    "RemoteControl",
+    "ReplicationGroup",
+    "SSSEvent",
+    "SecuritySystem",
+    "Sensor",
+    "SensorState",
+    "SoftStateStore",
+    "SoftStateVariable",
+    "Transceiver",
+]

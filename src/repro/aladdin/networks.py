@@ -1,0 +1,100 @@
+"""Heterogeneous in-home network segments (§2.3).
+
+Aladdin spans "powerline, phoneline, RF (Radio Frequency) and IR (InfraRed)"
+networks.  Each :class:`HomeNetwork` is a broadcast segment with its own
+latency model and loss rate; :class:`Transceiver` bridges two segments (the
+paper's scenario has an RF→powerline transceiver that converts the remote
+control's RF signal into a powerline signal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from repro.net.channel import LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+#: Per-segment latency calibrated to period technology.  Powerline (X10-era)
+#: signalling is the slow hop that dominates the paper's 11 s chain.
+RF_LATENCY = LatencyModel(median=0.3, sigma=0.2, low=0.05, high=2.0)
+IR_LATENCY = LatencyModel(median=0.1, sigma=0.2, low=0.02, high=1.0)
+POWERLINE_LATENCY = LatencyModel(median=3.6, sigma=0.15, low=1.5, high=9.0)
+PHONELINE_LATENCY = LatencyModel(median=0.15, sigma=0.2, low=0.05, high=1.0)
+
+
+@dataclass
+class Transmission:
+    at: float
+    payload: Any
+    delivered: bool
+
+
+class HomeNetwork:
+    """A broadcast segment: every attached listener hears every send."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        latency: LatencyModel,
+        rng: np.random.Generator,
+        loss_probability: float = 0.0,
+    ):
+        self.env = env
+        self.name = name
+        self.latency = latency
+        self.rng = rng
+        self.loss_probability = loss_probability
+        self._listeners: list[Callable[[Any], None]] = []
+        self.log: list[Transmission] = []
+
+    def attach(self, listener: Callable[[Any], None]) -> None:
+        """Attach a receiver callback (a device, monitor or transceiver)."""
+        self._listeners.append(listener)
+
+    def detach(self, listener: Callable[[Any], None]) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def send(self, payload: Any) -> None:
+        """Broadcast ``payload`` to all listeners after segment latency."""
+        self.env.process(self._transmit(payload), name=f"{self.name}-tx")
+
+    def _transmit(self, payload: Any):
+        delay = self.latency.draw(self.rng)
+        yield self.env.timeout(delay)
+        lost = self.loss_probability and self.rng.random() < self.loss_probability
+        self.log.append(
+            Transmission(at=self.env.now, payload=payload, delivered=not lost)
+        )
+        if lost:
+            return
+        for listener in list(self._listeners):
+            listener(payload)
+
+
+class Transceiver:
+    """Bridges payloads from one segment onto another, with conversion."""
+
+    def __init__(
+        self,
+        name: str,
+        source: HomeNetwork,
+        target: HomeNetwork,
+        convert: Callable[[Any], Any] = lambda payload: payload,
+    ):
+        self.name = name
+        self.source = source
+        self.target = target
+        self.convert = convert
+        self.forwarded = 0
+        source.attach(self._on_receive)
+
+    def _on_receive(self, payload: Any) -> None:
+        self.forwarded += 1
+        self.target.send(self.convert(payload))

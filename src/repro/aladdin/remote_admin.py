@@ -1,0 +1,131 @@
+"""Email-based remote home automation (§2.3).
+
+"In addition to supporting secure, email-based remote home automation,
+Aladdin generates alerts when any critical sensor fires..."  The gateway
+accepts command emails — arm/disarm the security system, query a sensor —
+authenticated by a shared secret in the body, and answers by email.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.aladdin.sss import SoftStateStore, UnknownVariable
+from repro.net.email import EmailMessage, EmailService
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+
+@dataclass
+class CommandRecord:
+    at: float
+    sender: str
+    command: str
+    accepted: bool
+    response: str
+
+
+class RemoteHomeAdmin:
+    """The gateway's email command interface.
+
+    Commands (one per mail body line after the secret):
+
+    - ``ARM`` / ``DISARM`` — set the security state.
+    - ``QUERY <variable>`` — read a soft-state variable.
+    - ``STATUS`` — one line per variable.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        email_service: EmailService,
+        store: SoftStateStore,
+        address: str,
+        secret: str,
+        security_variable: str = "security.armed",
+    ):
+        self.env = env
+        self.email_service = email_service
+        self.store = store
+        self.address = address
+        self.secret = secret
+        self.security_variable = security_variable
+        self.commands: list[CommandRecord] = []
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.env.process(self._loop(), name="home-admin")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        mailbox = self.email_service.mailbox(self.address)
+        while self._running:
+            message = yield mailbox.receive()
+            if not self._running:
+                mailbox.put_back(message)
+                return
+            self._handle(message)
+
+    # ------------------------------------------------------------------
+    # Command processing
+    # ------------------------------------------------------------------
+
+    def _handle(self, message: EmailMessage) -> None:
+        lines = [line.strip() for line in message.body.splitlines()
+                 if line.strip()]
+        if not lines or lines[0] != self.secret:
+            self._record(message, "(unauthenticated)", False,
+                         "authentication failed")
+            return
+        for command in lines[1:]:
+            response = self._execute(command)
+            accepted = response is not None
+            self._record(
+                message, command, accepted,
+                response if accepted else f"unknown command {command!r}",
+            )
+
+    def _execute(self, command: str) -> Optional[str]:
+        verb, _space, argument = command.partition(" ")
+        verb = verb.upper()
+        if verb in ("ARM", "DISARM"):
+            self.store.write(self.security_variable, verb == "ARM")
+            return f"security {'armed' if verb == 'ARM' else 'disarmed'}"
+        if verb == "QUERY" and argument:
+            try:
+                value = self.store.read(argument)
+            except UnknownVariable:
+                return f"no such variable {argument!r}"
+            return f"{argument} = {value!r}"
+        if verb == "STATUS":
+            lines = [
+                f"{variable.name} = {variable.value!r}"
+                + (" [TIMED OUT]" if variable.timed_out else "")
+                for variable in self.store.variables()
+            ]
+            return "\n".join(lines) if lines else "(no variables)"
+        return None
+
+    def _record(
+        self, message: EmailMessage, command: str, accepted: bool,
+        response: str,
+    ) -> None:
+        self.commands.append(
+            CommandRecord(
+                at=self.env.now,
+                sender=message.sender,
+                command=command,
+                accepted=accepted,
+                response=response,
+            )
+        )
+        self.email_service.send(
+            self.address, message.sender, f"Re: {command}", response
+        )

@@ -1,0 +1,98 @@
+"""SSS replication over the phoneline Ethernet (§5).
+
+"...converted it into an update on the local SSS server, which replicated
+the update to other PCs through a multicast over the phoneline Ethernet."
+
+A :class:`ReplicationGroup` joins several per-PC SSS instances: every local
+CHANGED/CREATED/REFRESHED event is multicast on the phoneline segment and
+applied to the other members, with origin tagging to suppress loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.aladdin.networks import HomeNetwork
+from repro.aladdin.sss import (
+    SoftStateStore,
+    SSSEvent,
+    SSSEventKind,
+    UnknownVariable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+
+@dataclass
+class ReplicationMessage:
+    origin_store: str
+    kind: SSSEventKind
+    variable: str
+    type_name: str
+    value: Any
+    refresh_period: float
+    max_missed: int
+
+
+class ReplicationGroup:
+    """Multicast replication between SSS instances on one segment."""
+
+    def __init__(self, env: "Environment", network: HomeNetwork):
+        self.env = env
+        self.network = network
+        self._members: list[SoftStateStore] = []
+        self.replicated = 0
+        network.attach(self._on_multicast)
+
+    def join(self, store: SoftStateStore) -> None:
+        """Add a store; its local mutations start replicating."""
+        self._members.append(store)
+        store.subscribe(lambda event: self._on_local_event(store, event))
+
+    def _on_local_event(self, store: SoftStateStore, event: SSSEvent) -> None:
+        if event.origin != store.name:
+            return  # replicated-in event; do not re-multicast (loop)
+        if event.kind not in (
+            SSSEventKind.CREATED,
+            SSSEventKind.CHANGED,
+            SSSEventKind.REFRESHED,
+        ):
+            return
+        variable = store.variable(event.variable)
+        self.network.send(
+            ReplicationMessage(
+                origin_store=store.name,
+                kind=event.kind,
+                variable=variable.name,
+                type_name=variable.type_name,
+                value=variable.value,
+                refresh_period=variable.refresh_period,
+                max_missed=variable.max_missed,
+            )
+        )
+
+    def _on_multicast(self, payload: Any) -> None:
+        if not isinstance(payload, ReplicationMessage):
+            return
+        self.replicated += 1
+        for store in self._members:
+            if store.name == payload.origin_store:
+                continue
+            self._apply(store, payload)
+
+    def _apply(self, store: SoftStateStore, message: ReplicationMessage) -> None:
+        store.define_type(message.type_name)
+        try:
+            store.variable(message.variable)
+        except UnknownVariable:
+            store.create(
+                message.variable,
+                message.type_name,
+                message.value,
+                message.refresh_period,
+                message.max_missed,
+            )
+            return
+        store.write(message.variable, message.value, origin=message.origin_store)

@@ -1,0 +1,37 @@
+"""Email-only delivery: the pre-SIMBA state of the art (§3.1).
+
+"Most of the alerts today are delivered as email messages, which are not
+suitable for delivering time-critical, high-importance alerts."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.alert import Alert
+from repro.core.user_endpoint import UserEndpoint
+from repro.net.email import EmailService
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+
+class EmailOnlyDelivery:
+    """One email per alert, straight to the user's mailbox."""
+
+    name = "email-only"
+
+    def __init__(self, env: "Environment", email_service: EmailService):
+        self.env = env
+        self.email_service = email_service
+        self.messages_sent = 0
+
+    def deliver(self, alert: Alert, user: UserEndpoint) -> None:
+        self.email_service.send(
+            alert.source,
+            user.email_address,
+            alert.subject,
+            alert.encode(),
+            correlation=alert.alert_id,
+        )
+        self.messages_sent += 1

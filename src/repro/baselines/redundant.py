@@ -1,0 +1,72 @@
+"""Blanket redundancy: Aladdin's original delivery policy (§2.3).
+
+"To minimize the potential problem of message loss and delay, Aladdin by
+default sends all alerts as two emails and two cell phone SMS messages.
+However, such heavy use of redundancy has not worked well.  For critical
+alerts, there is still no guarantee that any of the four messages can reach
+the user in time.  For less critical alerts, four messages per alert are
+irritating and cumbersome."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.alert import Alert
+from repro.core.user_endpoint import UserEndpoint
+from repro.errors import ChannelError
+from repro.net.email import EmailService
+from repro.net.sms import SMSGateway
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+
+class BlanketRedundantDelivery:
+    """N duplicated emails + M duplicated SMS per alert, unconditionally."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        email_service: EmailService,
+        sms_gateway: SMSGateway,
+        n_email: int = 2,
+        n_sms: int = 2,
+    ):
+        if n_email < 0 or n_sms < 0 or n_email + n_sms == 0:
+            raise ValueError("need at least one message per alert")
+        self.env = env
+        self.email_service = email_service
+        self.sms_gateway = sms_gateway
+        self.n_email = n_email
+        self.n_sms = n_sms
+        self.messages_sent = 0
+
+    @property
+    def name(self) -> str:
+        return f"redundant-{self.n_email}em+{self.n_sms}sms"
+
+    def deliver(self, alert: Alert, user: UserEndpoint) -> None:
+        for _ in range(self.n_email):
+            try:
+                self.email_service.send(
+                    alert.source,
+                    user.email_address,
+                    alert.subject,
+                    alert.encode(),
+                    correlation=alert.alert_id,
+                )
+                self.messages_sent += 1
+            except ChannelError:
+                pass  # fire-and-forget: the sender never learns
+        for _ in range(self.n_sms):
+            try:
+                self.sms_gateway.send(
+                    alert.source,
+                    user.phone_number,
+                    f"{alert.subject}: {alert.body}",
+                    correlation=alert.alert_id,
+                )
+                self.messages_sent += 1
+            except ChannelError:
+                pass

@@ -1,0 +1,62 @@
+"""SIMBA as a delivery strategy, for head-to-head baseline comparison.
+
+Wraps a real source endpoint + MyAlertBuddy deployment behind the same
+``deliver(alert, user)`` interface as the baselines: the alert travels
+source → MAB (IM-ack-then-email) → delivery-mode routing → user.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.alert import Alert, AlertSeverity
+from repro.core.delivery_modes import im_ack_then_email
+from repro.core.endpoint import SimbaEndpoint
+from repro.core.user_endpoint import UserEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+    from repro.world import BuddyDeployment
+
+
+class SimbaStrategy:
+    """Deliver through the full SIMBA pipeline.
+
+    The deployment must already have the user registered and categories
+    subscribed; ``category_for_severity`` maps alert severities to the
+    personal categories used in the bench (critical alerts ride the
+    "critical" delivery mode, routine ones "normal").
+    """
+
+    name = "simba"
+
+    def __init__(
+        self,
+        env: "Environment",
+        source_endpoint: SimbaEndpoint,
+        deployment: "BuddyDeployment",
+        source_name: str = "bench-source",
+    ):
+        self.env = env
+        self.endpoint = source_endpoint
+        self.deployment = deployment
+        self.source_name = source_name
+        self.mode = im_ack_then_email()
+        self.messages_sent = 0
+        self.outcomes = []
+
+    def deliver(self, alert: Alert, user: UserEndpoint) -> None:
+        book = self.deployment.source_facing_book()
+        self.env.process(
+            self._deliver(alert, book),
+            name=f"simba-strategy-{alert.alert_id}",
+        )
+
+    def _deliver(self, alert: Alert, book):
+        outcome = yield from self.endpoint.deliver_alert(alert, self.mode, book)
+        self.outcomes.append(outcome)
+        self.messages_sent += outcome.messages_sent
+
+    @staticmethod
+    def category_for_severity(severity: AlertSeverity) -> str:
+        return "Critical" if severity is AlertSeverity.CRITICAL else "Routine"

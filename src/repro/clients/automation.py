@@ -1,0 +1,160 @@
+"""Client-software lifecycle and automation-pointer semantics.
+
+An automation interface "allows programmatic access to virtually all the
+operations that can be performed by human users" (§4.1.1) — but the paper's
+key observation is what happens on the *exception* paths:
+
+- Restarting the client invalidates every automation pointer the driving
+  application holds (:class:`~repro.errors.StalePointerError`).
+- A hung client stops responding to calls (:class:`~repro.errors.ClientHungError`).
+- A modal dialog blocks every operation (:class:`~repro.errors.DialogBlockedError`).
+
+:class:`ClientSoftware` implements that contract; concrete clients guard
+every automation method with :meth:`ClientSoftware.guard`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import (
+    ClientHungError,
+    DialogBlockedError,
+    StalePointerError,
+)
+from repro.clients.screen import Screen
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+
+class AutomationHandle:
+    """An automation pointer into one *instance* (generation) of a client.
+
+    Holding a handle across a client restart makes it stale — every call
+    through it then raises :class:`StalePointerError`, and the holder must
+    "refresh all its pointers to point to the new instance" (§4.1.1).
+    """
+
+    def __init__(self, client: "ClientSoftware", generation: int):
+        self._client = client
+        self.generation = generation
+
+    @property
+    def client(self) -> "ClientSoftware":
+        return self._client
+
+    def valid(self) -> bool:
+        """Pointer-validity probe used by the sanity-checking API."""
+        return (
+            self._client.running
+            and self.generation == self._client.generation
+        )
+
+    def __repr__(self) -> str:
+        state = "valid" if self.valid() else "STALE"
+        return f"<AutomationHandle {self._client.name} gen={self.generation} {state}>"
+
+
+class ClientSoftware:
+    """Base class for simulated GUI communication clients."""
+
+    def __init__(self, env: "Environment", screen: Screen, name: str):
+        self.env = env
+        self.screen = screen
+        self.name = name
+        self.running = False
+        self.hung = False
+        self.generation = 0
+        #: Lifecycle counters, read by the fault-tolerance benches.
+        self.starts = 0
+        self.terminations = 0
+
+    # ------------------------------------------------------------------
+    # Process lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> AutomationHandle:
+        """Launch a fresh instance and return a pointer to it."""
+        if self.running:
+            raise RuntimeError(f"client {self.name!r} is already running")
+        self.generation += 1
+        self.running = True
+        self.hung = False
+        self.starts += 1
+        self._on_start()
+        return AutomationHandle(self, self.generation)
+
+    def terminate(self) -> None:
+        """Kill the client process.
+
+        Safe on an already-dead client (mirrors TerminateProcess).  Dialogs
+        the client owned disappear with it; system dialogs stay.
+        """
+        if not self.running:
+            return
+        self.running = False
+        self.hung = False
+        self.terminations += 1
+        self.screen.dismiss_owned_by(self.name)
+        self._on_terminate()
+
+    # Subclass hooks -----------------------------------------------------
+
+    def _on_start(self) -> None:
+        """Instance-initialization hook for subclasses."""
+
+    def _on_terminate(self) -> None:
+        """Cleanup hook (drop network sessions etc.) for subclasses."""
+
+    # ------------------------------------------------------------------
+    # Fault hooks (driven by the injector)
+    # ------------------------------------------------------------------
+
+    def hang(self) -> bool:
+        """Make the client unresponsive until killed.  True if it applied."""
+        if not self.running or self.hung:
+            return False
+        self.hung = True
+        self._on_hang()
+        return True
+
+    def _on_hang(self) -> None:
+        """Subclass hook: a hung client stops servicing its network session."""
+
+    def pop_dialog(
+        self, caption: str, buttons: tuple[str, ...] = ("OK",)
+    ) -> Optional[object]:
+        """Pop a modal dialog owned by this client.  None if not running."""
+        if not self.running:
+            return None
+        return self.screen.pop_dialog(caption, buttons, owner=self.name)
+
+    # ------------------------------------------------------------------
+    # The automation guard
+    # ------------------------------------------------------------------
+
+    def guard(self, handle: AutomationHandle) -> None:
+        """Validate an automation call; every public method calls this first.
+
+        Raise order matters and mirrors what a real driver observes:
+        a dead/stale pointer fails before anything else; then a hung client;
+        then a modal dialog blocking the UI thread.
+        """
+        if handle.client is not self:
+            raise StalePointerError(
+                f"handle for {handle.client.name!r} used on {self.name!r}"
+            )
+        if not self.running or handle.generation != self.generation:
+            raise StalePointerError(
+                f"stale automation pointer into {self.name!r} "
+                f"(gen {handle.generation}, current {self.generation}, "
+                f"running={self.running})"
+            )
+        if self.hung:
+            raise ClientHungError(f"client {self.name!r} is not responding")
+        blocking = self.screen.blocking(self.name)
+        if blocking is not None:
+            raise DialogBlockedError(
+                f"client {self.name!r} blocked by dialog {blocking.caption!r}"
+            )

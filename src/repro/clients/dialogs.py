@@ -1,0 +1,48 @@
+"""Modal dialog boxes.
+
+"Dialog boxes ... stay on the screen forever and prevent the entire
+application from making progress" when software is driven through automation
+(§4.1.1).  A :class:`DialogBox` has a caption and a set of buttons; clicking
+any button dismisses it.  Dialogs raised by a client block that client;
+system dialogs (``owner=None``) block every client on the screen.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_dialog_ids = itertools.count(1)
+
+
+@dataclass
+class DialogBox:
+    """One modal dialog on a screen."""
+
+    caption: str
+    buttons: tuple[str, ...]
+    created_at: float
+    #: Name of the client software that popped it, or None for system dialogs.
+    owner: Optional[str] = None
+    dialog_id: int = field(default_factory=lambda: next(_dialog_ids))
+    dismissed: bool = False
+    dismissed_by: Optional[str] = None
+    dismissed_at: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.buttons:
+            raise ValueError("a dialog box must have at least one button")
+
+    def click(self, button: str, now: float) -> None:
+        """Press ``button``, dismissing the dialog."""
+        if self.dismissed:
+            raise RuntimeError(f"dialog {self.caption!r} already dismissed")
+        if button not in self.buttons:
+            raise ValueError(
+                f"dialog {self.caption!r} has no button {button!r} "
+                f"(has {self.buttons})"
+            )
+        self.dismissed = True
+        self.dismissed_by = button
+        self.dismissed_at = now

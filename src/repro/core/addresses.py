@@ -1,0 +1,94 @@
+"""User addresses and the per-user address book.
+
+"An XML document for user addresses consists of a list of all of a user's
+addresses for alert delivery.  Each address is associated with a
+communication type (e.g., 'IM', 'SMS', and 'EM') and identified by a
+friendly name such as 'MSN IM', 'Work email'" (§4.1).
+
+Enable/disable is the dynamic-customization primitive of §3.3: "she only
+needs to ask MyAlertBuddy to temporarily disable her SMS address.  Any
+delivery block that contains an SMS action will automatically fail and fall
+back to the next backup block."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import AddressUnknownError, ConfigurationError
+from repro.net.message import ChannelType
+
+
+@dataclass
+class UserAddress:
+    """One delivery address with its friendly name and type."""
+
+    friendly_name: str
+    channel: ChannelType
+    address: str
+    enabled: bool = True
+
+    def __post_init__(self):
+        if not self.friendly_name:
+            raise ConfigurationError("address friendly name must be non-empty")
+        if not self.address:
+            raise ConfigurationError(
+                f"address value for {self.friendly_name!r} must be non-empty"
+            )
+
+
+@dataclass
+class AddressBook:
+    """All of one principal's addresses, keyed by friendly name."""
+
+    owner: str
+    _addresses: dict[str, UserAddress] = field(default_factory=dict)
+
+    def add(self, address: UserAddress) -> None:
+        """Register an address.  Replacing a friendly name is an error —
+        remove first; silent replacement has bitten real users."""
+        if address.friendly_name in self._addresses:
+            raise ConfigurationError(
+                f"{self.owner!r} already has an address named "
+                f"{address.friendly_name!r}"
+            )
+        self._addresses[address.friendly_name] = address
+
+    def remove(self, friendly_name: str) -> None:
+        if friendly_name not in self._addresses:
+            raise AddressUnknownError(
+                f"{self.owner!r} has no address {friendly_name!r}"
+            )
+        del self._addresses[friendly_name]
+
+    def get(self, friendly_name: str) -> UserAddress:
+        try:
+            return self._addresses[friendly_name]
+        except KeyError:
+            raise AddressUnknownError(
+                f"{self.owner!r} has no address {friendly_name!r}"
+            ) from None
+
+    def __contains__(self, friendly_name: str) -> bool:
+        return friendly_name in self._addresses
+
+    def __iter__(self) -> Iterator[UserAddress]:
+        return iter(self._addresses.values())
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def set_enabled(self, friendly_name: str, enabled: bool) -> None:
+        """The §3.3 dynamic-customization hook (dead phone battery, travel)."""
+        self.get(friendly_name).enabled = enabled
+
+    def enabled_addresses(self) -> list[UserAddress]:
+        return [a for a in self if a.enabled]
+
+    def first_of_type(self, channel: ChannelType) -> Optional[UserAddress]:
+        """First enabled address of the given type, or None."""
+        for address in self:
+            if address.channel is channel and address.enabled:
+                return address
+        return None

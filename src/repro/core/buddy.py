@@ -1,0 +1,474 @@
+"""MyAlertBuddy: the personal alert aggregator / filter / router (§3.3, §4.2).
+
+One :class:`MyAlertBuddy` object is one *incarnation* — one run of the MAB
+process between launches by the MDC.  Everything that must survive a crash
+lives outside the incarnation and is passed in:
+
+- the :class:`~repro.core.endpoint.SimbaEndpoint` (client software keeps
+  running when MAB dies; a fresh incarnation re-attaches),
+- the :class:`~repro.core.pessimistic_log.PessimisticLog`,
+- the user-side configuration (:class:`BuddyConfig`),
+- the :class:`BuddyJournal` audit trail.
+
+Per-alert flow (§4.2): classification → aggregation → filtering → routing.
+High availability (§4.2.1): pessimistic log-before-ack (wired through the
+endpoint's ``pre_ack_hook``), MDC probe protocol (:meth:`attach_mdc`),
+self-stabilization tasks, and three-way rejuvenation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.core.aggregator import CategoryAggregator
+from repro.core.classifier import AlertClassifier
+from repro.core.endpoint import IncomingAlert, SimbaEndpoint
+from repro.core.filters import FilterDecision, FilterPolicy
+from repro.core.pessimistic_log import PessimisticLog
+from repro.core.rejuvenation import (
+    RejuvenationKind,
+    RejuvenationPolicy,
+    RejuvenationRecord,
+)
+from repro.core.stabilizer import SelfStabilizer
+from repro.core.subscription import SubscriptionLayer
+from repro.errors import AlertRejected, Interrupt, SimbaError
+from repro.net.channel import LatencyModel
+from repro.net.message import Message
+from repro.sim.clock import seconds_until_time_of_day
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+    from repro.sim.process import Process
+
+#: Classification + category lookup on period hardware.
+DEFAULT_PROCESSING = LatencyModel(median=0.40, sigma=0.30, low=0.05, high=3.0)
+#: Subscription enumeration + delivery-mode XML parsing before sending.
+DEFAULT_ROUTING_OVERHEAD = LatencyModel(median=0.70, sigma=0.30, low=0.10, high=4.0)
+
+#: "the sanity checking APIs are invoked every minute" (§4.2.1).
+DEFAULT_SANITY_INTERVAL = 60.0
+
+DEFAULT_MEMORY_BASE_MB = 40.0
+DEFAULT_MEMORY_LIMIT_MB = 200.0
+#: Small natural leak per processed alert — what nightly rejuvenation resets.
+DEFAULT_LEAK_PER_ALERT_MB = 0.02
+
+
+@dataclass
+class BuddyConfig:
+    """Persistent user-side configuration of one MAB."""
+
+    user: str
+    classifier: AlertClassifier
+    aggregator: CategoryAggregator
+    filters: FilterPolicy
+    subscriptions: SubscriptionLayer
+    rejuvenation: RejuvenationPolicy = field(default_factory=RejuvenationPolicy)
+    processing_latency: LatencyModel = DEFAULT_PROCESSING
+    routing_overhead: LatencyModel = DEFAULT_ROUTING_OVERHEAD
+    sanity_interval: float = DEFAULT_SANITY_INTERVAL
+    memory_limit_mb: float = DEFAULT_MEMORY_LIMIT_MB
+    #: When every block of every subscription fails (e.g. a blocking system
+    #: dialog took both clients down), re-queue the alert and try again —
+    #: an acknowledged alert must never be silently dropped.
+    delivery_retry_delay: float = 120.0
+    delivery_max_attempts: int = 6
+    # Ablation switches (§4.2.1 techniques; bench E9 disables one at a time).
+    pessimistic_logging_enabled: bool = True
+    self_stabilization_enabled: bool = True
+    monkey_enabled: bool = True
+
+
+@dataclass
+class JournalEvent:
+    at: float
+    kind: str
+    detail: str = ""
+    alert_id: Optional[str] = None
+
+
+class BuddyJournal:
+    """Cross-incarnation audit trail plus the processed-alert dedup set."""
+
+    def __init__(self):
+        self.events: list[JournalEvent] = []
+        self.routed_ids: set[str] = set()
+        self.rejuvenations: list[RejuvenationRecord] = []
+
+    def record(
+        self, at: float, kind: str, detail: str = "", alert_id: Optional[str] = None
+    ) -> None:
+        self.events.append(
+            JournalEvent(at=at, kind=kind, detail=detail, alert_id=alert_id)
+        )
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def of_kind(self, kind: str) -> list[JournalEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+
+class MyAlertBuddy:
+    """One incarnation of the MAB daemon."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        config: BuddyConfig,
+        endpoint: SimbaEndpoint,
+        log: PessimisticLog,
+        journal: BuddyJournal,
+        rng: np.random.Generator,
+    ):
+        self.env = env
+        self.config = config
+        self.endpoint = endpoint
+        self.log = log
+        self.journal = journal
+        self.rng = rng
+
+        self.process: Optional["Process"] = None
+        self.alive = False
+        self.hung = False
+        self.memory_mb = DEFAULT_MEMORY_BASE_MB
+        self.last_progress = env.now
+        self.stabilizer = SelfStabilizer(env, on_unrectifiable=self._on_unrectifiable)
+        self._shutdown_clients_on_exit = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "Process":
+        """Launch the incarnation's main process."""
+        if self.process is not None:
+            raise RuntimeError("an incarnation can only be started once")
+        self.process = self.env.process(
+            self._main(), name=f"mab-{self.config.user}"
+        )
+        return self.process
+
+    def force_terminate(self, cause: str) -> None:
+        """Kill this incarnation (crash injection / MDC restart)."""
+        if self.process is not None and self.process.is_alive:
+            self.process.interrupt(cause)
+
+    def request_rejuvenation(
+        self,
+        kind: RejuvenationKind,
+        detail: str = "",
+        shutdown_clients: bool = False,
+    ) -> None:
+        """Gracefully terminate so the MDC relaunches at a clean state."""
+        if not self.alive:
+            return
+        self.journal.rejuvenations.append(
+            RejuvenationRecord(at=self.env.now, kind=kind, detail=detail)
+        )
+        self.journal.record(self.env.now, "rejuvenation", f"{kind.value}: {detail}")
+        self._shutdown_clients_on_exit = shutdown_clients
+        self.force_terminate(f"rejuvenation:{kind.value}")
+
+    # ------------------------------------------------------------------
+    # Fault hooks
+    # ------------------------------------------------------------------
+
+    def crash(self, detail: str = "injected crash") -> bool:
+        """Unhandled-exception style termination."""
+        if not self.alive:
+            return False
+        self.journal.record(self.env.now, "crash", detail)
+        self.force_terminate(f"crash:{detail}")
+        return True
+
+    def hang(self) -> bool:
+        """Stop making progress without terminating (probe goes unanswered)."""
+        if not self.alive or self.hung:
+            return False
+        self.hung = True
+        self.journal.record(self.env.now, "hang")
+        # All the process's threads stall together: receive loops, monkey
+        # threads and stabilizer stop being scheduled.
+        self.endpoint.stop()
+        self.stabilizer.stop()
+        return True
+
+    def leak_memory(self, megabytes: float) -> bool:
+        if not self.alive:
+            return False
+        self.memory_mb += megabytes
+        self.journal.record(self.env.now, "memory_leak", f"{megabytes} MB")
+        return True
+
+    # ------------------------------------------------------------------
+    # MDC protocol (§4.2.1 Watchdog)
+    # ------------------------------------------------------------------
+
+    def attach_mdc(self, request, reply) -> None:
+        """Register one AreYouWorking probe (request/reply event pair)."""
+        self.env.process(self._mdc_client(request, reply), name="mdc-client")
+
+    def _mdc_client(self, request, reply):
+        yield request
+        if not self.alive or self.hung:
+            return  # never reply: the MDC's timeout fires
+        if self.are_you_working():
+            reply.succeed()
+
+    def are_you_working(self) -> bool:
+        """Non-blocking self-check invoked via the MDC client thread.
+
+        "MyAlertBuddy checks the health of the process and the threads by
+        monitoring the timestamps of their progress and unusual system
+        resource consumption" (§4.2.1).
+        """
+        if self.memory_mb > self.config.memory_limit_mb:
+            # Unusual resource consumption: reply healthy but schedule a
+            # graceful restart to shed the leak.
+            self.request_rejuvenation(
+                RejuvenationKind.EXCEPTION,
+                detail=f"memory {self.memory_mb:.0f} MB over limit",
+            )
+            return True
+        return True
+
+    def _on_unrectifiable(self, task_name: str, exc: Exception) -> None:
+        if self.config.rejuvenation.exception_triggered:
+            self.request_rejuvenation(
+                RejuvenationKind.EXCEPTION, detail=f"{task_name}: {exc}"
+            )
+
+    # ------------------------------------------------------------------
+    # Main process
+    # ------------------------------------------------------------------
+
+    def _main(self):
+        self.alive = True
+        self.journal.record(self.env.now, "incarnation_start")
+        try:
+            self.endpoint.pre_ack_hook = self._pre_ack
+            self.endpoint.command_handler = self._on_command
+            self.endpoint.monkey_enabled = self.config.monkey_enabled
+            self.endpoint.start()
+            if self.config.self_stabilization_enabled:
+                self._setup_stabilizer()
+                self.stabilizer.start()
+            if self.config.rejuvenation.nightly_enabled:
+                self.env.process(self._nightly(), name="mab-nightly")
+            yield from self._recover()
+            while self.alive:
+                incoming = yield self.endpoint.alert_inbox.get()
+                if self.hung:
+                    # A hung process holds the item forever; the MDC restart
+                    # interrupts us here.  The alert itself is safe in the
+                    # pessimistic log if it arrived by IM.
+                    yield self.env.event()
+                yield from self._process_incoming(incoming)
+        except Interrupt as interrupt:
+            self.journal.record(
+                self.env.now, "incarnation_end", str(interrupt.cause)
+            )
+        except SimbaError as exc:
+            # An unhandled library error is exactly the paper's "exception
+            # that cannot be handled": terminate; the MDC restarts us.
+            self.journal.record(self.env.now, "incarnation_failed", str(exc))
+        finally:
+            self.alive = False
+            self.stabilizer.stop()
+            self.endpoint.stop(shutdown_clients=self._shutdown_clients_on_exit)
+
+    # ------------------------------------------------------------------
+    # Log-before-ack + recovery
+    # ------------------------------------------------------------------
+
+    def _pre_ack(self, incoming: IncomingAlert):
+        """Pessimistic logging hook: runs before the endpoint sends the ack."""
+        if not self.config.pessimistic_logging_enabled:
+            return  # ablated: ack without durability (bench E9)
+        if incoming.seq is None:
+            return  # email path: no ack, nothing to guarantee
+        if self.log.has_seen(incoming.alert.alert_id):
+            return  # redelivery of something already durable
+        yield from self.log.append(
+            incoming.alert.alert_id, incoming.alert.encode()
+        )
+
+    def _recover(self):
+        """Replay unprocessed log entries before accepting new alerts.
+
+        "Every time MyAlertBuddy is restarted, it first checks the log file
+        for unprocessed IMs before accepting new alerts" (§4.2.1).
+        """
+        from repro.core.alert import Alert
+        from repro.net.message import ChannelType
+
+        for entry in self.log.unprocessed():
+            self.journal.record(
+                self.env.now, "recovery_replay", alert_id=entry.alert_id
+            )
+            incoming = IncomingAlert(
+                alert=Alert.decode(entry.payload),
+                via=ChannelType.IM,
+                sender="(recovered)",
+                received_at=entry.received_at,
+            )
+            yield from self._process_incoming(incoming)
+
+    # ------------------------------------------------------------------
+    # The §4.2 pipeline
+    # ------------------------------------------------------------------
+
+    def _process_incoming(self, incoming: IncomingAlert):
+        config = self.config
+        alert = incoming.alert
+        self.last_progress = self.env.now
+        self.memory_mb += DEFAULT_LEAK_PER_ALERT_MB
+        entry = self.log.entry_for_alert(alert.alert_id)
+
+        def finish(kind: str, detail: str = ""):
+            self.journal.record(
+                self.env.now, kind, detail, alert_id=alert.alert_id
+            )
+            if entry is not None:
+                self.log.mark_processed(entry.entry_id)
+
+        if (
+            alert.alert_id in self.journal.routed_ids
+            and incoming.retry_users is None
+        ):
+            finish("duplicate_incoming", f"via {incoming.via.value}")
+            return
+
+        yield self.env.timeout(config.processing_latency.draw(self.rng))
+
+        try:
+            keyword = config.classifier.classify(alert, sender=incoming.sender)
+        except AlertRejected as exc:
+            finish("rejected", str(exc))
+            return
+        category = config.aggregator.category_for(keyword)
+        if category is None:
+            finish("unmapped", f"keyword {keyword!r}")
+            return
+        decision = config.filters.evaluate(category, self.env.now)
+        if decision is not FilterDecision.DELIVER:
+            finish("filtered", f"{category}: {decision.value}")
+            return
+        subscriptions = config.subscriptions.subscriptions_for(category)
+        if not subscriptions:
+            finish("no_subscribers", category)
+            return
+
+        if incoming.retry_users is not None:
+            subscriptions = [
+                s for s in subscriptions if s.user in incoming.retry_users
+            ]
+
+        tagged = alert.with_category(category)
+        yield self.env.timeout(config.routing_overhead.draw(self.rng))
+        failed_users: set[str] = set()
+        for subscription in subscriptions:
+            mode = config.subscriptions.mode(
+                subscription.user, subscription.mode_name
+            )
+            book = config.subscriptions.address_book(subscription.user)
+            outcome = yield from self.endpoint.deliver_alert(tagged, mode, book)
+            self.journal.record(
+                self.env.now,
+                "routed" if outcome.delivered else "delivery_failed",
+                f"{subscription.user} via {subscription.mode_name}",
+                alert_id=alert.alert_id,
+            )
+            if not outcome.delivered:
+                failed_users.add(subscription.user)
+
+        if failed_users and incoming.attempts + 1 < config.delivery_max_attempts:
+            # Some subscriber got nothing on any block: re-queue for them.
+            # The log entry stays unprocessed, so even a crash in the retry
+            # window cannot lose an acknowledged alert.
+            self.journal.record(
+                self.env.now,
+                "retry_scheduled",
+                f"attempt {incoming.attempts + 1} for {sorted(failed_users)}",
+                alert_id=alert.alert_id,
+            )
+            self.env.process(
+                self._requeue(incoming, failed_users),
+                name=f"retry-{alert.alert_id}",
+            )
+            if not failed_users.issuperset(s.user for s in subscriptions):
+                # Partial success: the successful users must not get it again.
+                self.journal.routed_ids.add(alert.alert_id)
+            self.last_progress = self.env.now
+            return
+        if failed_users:
+            self.journal.record(
+                self.env.now,
+                "delivery_abandoned",
+                f"gave up after {config.delivery_max_attempts} attempts",
+                alert_id=alert.alert_id,
+            )
+        self.journal.routed_ids.add(alert.alert_id)
+        if entry is not None:
+            self.log.mark_processed(entry.entry_id)
+        self.last_progress = self.env.now
+
+    def _requeue(self, incoming: IncomingAlert, failed_users: set[str]):
+        yield self.env.timeout(self.config.delivery_retry_delay)
+        retry = IncomingAlert(
+            alert=incoming.alert,
+            via=incoming.via,
+            sender=incoming.sender,
+            received_at=incoming.received_at,
+            seq=incoming.seq,
+            attempts=incoming.attempts + 1,
+            retry_users=frozenset(failed_users),
+        )
+        yield self.endpoint.alert_inbox.put(retry)
+
+    # ------------------------------------------------------------------
+    # Self-stabilization tasks
+    # ------------------------------------------------------------------
+
+    def _setup_stabilizer(self) -> None:
+        interval = self.config.sanity_interval
+        self.stabilizer.add_task("im-sanity", interval, self._im_sanity)
+        self.stabilizer.add_task("email-sanity", interval, self._email_sanity)
+
+    def _im_sanity(self) -> list[str]:
+        report = self.endpoint.im_manager.sanity_check()
+        return list(report.repairs)
+
+    def _email_sanity(self) -> list[str]:
+        report = self.endpoint.email_manager.sanity_check()
+        return list(report.repairs)
+
+    # ------------------------------------------------------------------
+    # Rejuvenation triggers
+    # ------------------------------------------------------------------
+
+    def _nightly(self):
+        delay = seconds_until_time_of_day(
+            self.env.now, self.config.rejuvenation.nightly_time
+        )
+        yield self.env.timeout(delay)
+        if self.alive:
+            self.request_rejuvenation(
+                RejuvenationKind.NIGHTLY,
+                detail="orderly nightly shutdown",
+                shutdown_clients=True,
+            )
+
+    def _on_command(self, message: Message) -> None:
+        if self.config.rejuvenation.matches_keyword(message.body):
+            self.journal.record(
+                self.env.now, "remote_command", f"from {message.sender}"
+            )
+            self.request_rejuvenation(
+                RejuvenationKind.REMOTE, detail=f"keyword from {message.sender}"
+            )

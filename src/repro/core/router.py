@@ -1,0 +1,256 @@
+"""The delivery engine: executes delivery modes block by block.
+
+This is where SIMBA's dependability semantics live (§3.2, §4.1):
+
+- blocks run strictly in order; the first successful block ends delivery;
+- within a block, actions on *enabled* addresses fire concurrently;
+- an ``require_ack`` block succeeds only when an application-level IM
+  acknowledgement arrives within the block's timeout;
+- a best-effort block succeeds when at least one channel accepts the
+  submission;
+- a block with no enabled addresses "automatically fails and falls back to
+  the next backup block" (§3.3).
+
+The engine never raises for per-action failures — every failure is recorded
+in the :class:`DeliveryOutcome`, because fallback *is* the error handling.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.addresses import AddressBook, UserAddress
+from repro.core.delivery_modes import CommunicationBlock, DeliveryMode
+from repro.errors import AddressUnknownError, SimbaError
+from repro.net.message import ChannelType
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+
+class BlockStatus(enum.Enum):
+    """How one communication block ended."""
+
+    SUCCESS = "success"
+    NO_ENABLED_ADDRESSES = "no_enabled_addresses"
+    ALL_SUBMISSIONS_FAILED = "all_submissions_failed"
+    ACK_TIMEOUT = "ack_timeout"
+
+
+@dataclass
+class BlockOutcome:
+    """Record of one block's execution."""
+
+    index: int
+    status: BlockStatus
+    submitted: list[str] = field(default_factory=list)
+    skipped_disabled: list[str] = field(default_factory=list)
+    errors: dict[str, str] = field(default_factory=dict)
+    acked_by: Optional[str] = None
+    elapsed: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status is BlockStatus.SUCCESS
+
+
+@dataclass
+class DeliveryOutcome:
+    """Record of a full delivery-mode execution for one alert."""
+
+    mode_name: str
+    correlation: Optional[str]
+    delivered: bool
+    blocks: list[BlockOutcome]
+    started_at: float
+    finished_at: float
+    messages_sent: int
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def delivered_via(self) -> Optional[int]:
+        """Index of the successful block, or None if delivery failed."""
+        for outcome in self.blocks:
+            if outcome.succeeded:
+                return outcome.index
+        return None
+
+
+class AckTable:
+    """Pending acknowledgement events keyed by (peer address, IM seq)."""
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._pending: dict[tuple[str, int], Event] = {}
+
+    def expect(self, peer: str, seq: int) -> Event:
+        event = self.env.event()
+        self._pending[(peer, seq)] = event
+        return event
+
+    def resolve(self, peer: str, seq: int) -> bool:
+        """Called when an ack message arrives; True if someone was waiting."""
+        event = self._pending.pop((peer, seq), None)
+        if event is None or event.triggered:
+            return False
+        event.succeed(self.env.now)
+        return True
+
+    def cancel(self, peer: str, seq: int) -> None:
+        self._pending.pop((peer, seq), None)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+class DeliveryEngine:
+    """Executes delivery modes against a set of channel managers.
+
+    ``managers`` maps :class:`ChannelType` to an object with a
+    ``submit(address, subject, body, correlation)`` method (the
+    Communication Managers).  The owner (a :class:`SimbaEndpoint`) must feed
+    incoming ``SIMBA-ACK`` messages to :attr:`acks` for ack blocks to work.
+    """
+
+    def __init__(self, env: "Environment", managers: dict[ChannelType, object]):
+        self.env = env
+        self.managers = managers
+        self.acks = AckTable(env)
+        #: Every completed delivery, for metrics.
+        self.history: list[DeliveryOutcome] = []
+
+    def execute(
+        self,
+        mode: DeliveryMode,
+        book: AddressBook,
+        subject: str,
+        body: str,
+        correlation: Optional[str] = None,
+    ):
+        """Run a delivery mode (generator; use ``yield from`` or wrap in a
+        process).  Returns a :class:`DeliveryOutcome`; never raises for
+        delivery failures."""
+        started = self.env.now
+        blocks: list[BlockOutcome] = []
+        messages = 0
+        delivered = False
+        for index, block in enumerate(mode.blocks):
+            outcome = yield from self._run_block(
+                index, block, book, subject, body, correlation
+            )
+            blocks.append(outcome)
+            messages += len(outcome.submitted)
+            if outcome.succeeded:
+                delivered = True
+                break
+        result = DeliveryOutcome(
+            mode_name=mode.name,
+            correlation=correlation,
+            delivered=delivered,
+            blocks=blocks,
+            started_at=started,
+            finished_at=self.env.now,
+            messages_sent=messages,
+        )
+        self.history.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _resolve_addresses(
+        self, block: CommunicationBlock, book: AddressBook, outcome: BlockOutcome
+    ) -> list[UserAddress]:
+        addresses = []
+        for action in block.actions:
+            try:
+                address = book.get(action.address_ref)
+            except AddressUnknownError:
+                outcome.errors[action.address_ref] = "unknown address"
+                continue
+            if not address.enabled:
+                outcome.skipped_disabled.append(action.address_ref)
+                continue
+            addresses.append(address)
+        return addresses
+
+    def _run_block(
+        self,
+        index: int,
+        block: CommunicationBlock,
+        book: AddressBook,
+        subject: str,
+        body: str,
+        correlation: Optional[str],
+    ):
+        start = self.env.now
+        outcome = BlockOutcome(index=index, status=BlockStatus.NO_ENABLED_ADDRESSES)
+        addresses = self._resolve_addresses(block, book, outcome)
+        if not addresses:
+            return outcome
+
+        ack_events: dict[Event, str] = {}
+        pending_keys: list[tuple[str, int]] = []
+        for address in addresses:
+            manager = self.managers.get(address.channel)
+            if manager is None:
+                outcome.errors[address.friendly_name] = (
+                    f"no manager for channel {address.channel.value}"
+                )
+                continue
+            try:
+                message = manager.submit(
+                    address.address, subject, body, correlation
+                )
+            except SimbaError as exc:
+                outcome.errors[address.friendly_name] = str(exc)
+                continue
+            outcome.submitted.append(address.friendly_name)
+            if block.require_ack and address.channel is ChannelType.IM:
+                seq = getattr(message, "seq", None)
+                if seq is not None:
+                    event = self.acks.expect(address.address, seq)
+                    ack_events[event] = address.friendly_name
+                    pending_keys.append((address.address, seq))
+
+        if not outcome.submitted:
+            outcome.status = BlockStatus.ALL_SUBMISSIONS_FAILED
+            outcome.elapsed = self.env.now - start
+            return outcome
+
+        if not block.require_ack:
+            outcome.status = BlockStatus.SUCCESS
+            outcome.elapsed = self.env.now - start
+            return outcome
+
+        if not ack_events:
+            # An ack block whose submissions cannot carry acks (e.g. actions
+            # on non-IM addresses) cannot confirm delivery: treat as timeout
+            # so the backup block fires — confirmability is the point.
+            yield self.env.timeout(0)
+            outcome.status = BlockStatus.ACK_TIMEOUT
+            outcome.elapsed = self.env.now - start
+            return outcome
+
+        timeout = self.env.timeout(block.ack_timeout)
+        yield self.env.any_of(list(ack_events) + [timeout])
+        acked = next(
+            (name for event, name in ack_events.items() if event.processed),
+            None,
+        )
+        for peer, seq in pending_keys:
+            self.acks.cancel(peer, seq)
+        if acked is not None:
+            outcome.status = BlockStatus.SUCCESS
+            outcome.acked_by = acked
+        else:
+            outcome.status = BlockStatus.ACK_TIMEOUT
+        outcome.elapsed = self.env.now - start
+        return outcome

@@ -1,0 +1,164 @@
+"""XML encoding for user addresses and delivery modes.
+
+"Both user addresses and delivery modes are expressed in XML to allow
+extensibility for accommodating new communication addresses" (§4.1).  The
+schemas below follow the paper's description of Figure 4.
+
+Address document::
+
+    <userAddresses owner="alice">
+      <address type="IM" name="MSN IM" enabled="true">alice@im</address>
+      <address type="SMS" name="Cell SMS">+14255550100</address>
+      <address type="EM" name="Work email">alice@work</address>
+    </userAddresses>
+
+Delivery-mode document (two communication blocks, as in Figure 4)::
+
+    <deliveryMode name="Critical">
+      <block requireAck="true" ackTimeout="15">
+        <action address="MSN IM"/>
+      </block>
+      <block>
+        <action address="Cell SMS"/>
+        <action address="Work email"/>
+      </block>
+    </deliveryMode>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.core.addresses import AddressBook, UserAddress
+from repro.core.delivery_modes import Action, CommunicationBlock, DeliveryMode
+from repro.errors import ConfigurationError
+from repro.net.message import ChannelType
+
+
+def _parse_bool(text: str, context: str) -> bool:
+    lowered = text.strip().lower()
+    if lowered in ("true", "1", "yes"):
+        return True
+    if lowered in ("false", "0", "no"):
+        return False
+    raise ConfigurationError(f"invalid boolean {text!r} in {context}")
+
+
+# ---------------------------------------------------------------------------
+# Addresses
+# ---------------------------------------------------------------------------
+
+def address_book_to_xml(book: AddressBook) -> str:
+    """Serialize an address book to its XML document."""
+    root = ET.Element("userAddresses", owner=book.owner)
+    for address in book:
+        element = ET.SubElement(
+            root,
+            "address",
+            type=address.channel.value,
+            name=address.friendly_name,
+            enabled="true" if address.enabled else "false",
+        )
+        element.text = address.address
+    return ET.tostring(root, encoding="unicode")
+
+
+def address_book_from_xml(document: str) -> AddressBook:
+    """Parse an address-book XML document."""
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise ConfigurationError(f"malformed address XML: {exc}") from exc
+    if root.tag != "userAddresses":
+        raise ConfigurationError(
+            f"expected <userAddresses>, got <{root.tag}>"
+        )
+    owner = root.get("owner")
+    if not owner:
+        raise ConfigurationError("<userAddresses> requires an owner attribute")
+    book = AddressBook(owner=owner)
+    for element in root:
+        if element.tag != "address":
+            raise ConfigurationError(
+                f"unexpected element <{element.tag}> in address document"
+            )
+        type_tag = element.get("type")
+        name = element.get("name")
+        if not type_tag or not name:
+            raise ConfigurationError("<address> requires type and name")
+        try:
+            channel = ChannelType.from_tag(type_tag)
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from exc
+        book.add(
+            UserAddress(
+                friendly_name=name,
+                channel=channel,
+                address=(element.text or "").strip(),
+                enabled=_parse_bool(
+                    element.get("enabled", "true"), f"address {name!r}"
+                ),
+            )
+        )
+    return book
+
+
+# ---------------------------------------------------------------------------
+# Delivery modes
+# ---------------------------------------------------------------------------
+
+def delivery_mode_to_xml(mode: DeliveryMode) -> str:
+    """Serialize a delivery mode to its XML document."""
+    root = ET.Element("deliveryMode", name=mode.name)
+    for block in mode.blocks:
+        attrs = {}
+        if block.require_ack:
+            attrs["requireAck"] = "true"
+            attrs["ackTimeout"] = repr(block.ack_timeout)
+        element = ET.SubElement(root, "block", **attrs)
+        for action in block.actions:
+            ET.SubElement(element, "action", address=action.address_ref)
+    return ET.tostring(root, encoding="unicode")
+
+
+def delivery_mode_from_xml(document: str) -> DeliveryMode:
+    """Parse a delivery-mode XML document."""
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise ConfigurationError(f"malformed delivery-mode XML: {exc}") from exc
+    if root.tag != "deliveryMode":
+        raise ConfigurationError(f"expected <deliveryMode>, got <{root.tag}>")
+    name = root.get("name")
+    if not name:
+        raise ConfigurationError("<deliveryMode> requires a name attribute")
+    blocks: list[CommunicationBlock] = []
+    for element in root:
+        if element.tag != "block":
+            raise ConfigurationError(
+                f"unexpected element <{element.tag}> in delivery mode"
+            )
+        actions = []
+        for child in element:
+            if child.tag != "action":
+                raise ConfigurationError(
+                    f"unexpected element <{child.tag}> in block"
+                )
+            address = child.get("address")
+            if not address:
+                raise ConfigurationError("<action> requires an address")
+            actions.append(Action(address_ref=address))
+        require_ack = _parse_bool(
+            element.get("requireAck", "false"), f"mode {name!r}"
+        )
+        kwargs = {"actions": actions, "require_ack": require_ack}
+        timeout_text = element.get("ackTimeout")
+        if timeout_text is not None:
+            try:
+                kwargs["ack_timeout"] = float(timeout_text)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"invalid ackTimeout {timeout_text!r}"
+                ) from exc
+        blocks.append(CommunicationBlock(**kwargs))
+    return DeliveryMode(name=name, blocks=blocks)

@@ -1,0 +1,68 @@
+"""Experiment harnesses: one per result in the paper's evaluation (§5).
+
+Each ``run_*`` function builds a world, executes the experiment, and returns
+a result object whose fields correspond to the numbers the paper reports.
+The benchmarks in ``benchmarks/`` are thin wrappers that run these, print
+the paper-vs-measured table, and assert the qualitative *shape* holds.
+
+| id | harness | paper claim |
+|----|---------|-------------|
+| E1 | :func:`~repro.experiments.latency.run_im_one_way` | one-way IM < 1 s |
+| E2 | :func:`~repro.experiments.latency.run_ack_roundtrip` | logged ack ≈ 1.5 s |
+| E3 | :func:`~repro.experiments.latency.run_proxy_routing` | proxy → user ≈ 2.5 s |
+| E4 | :func:`~repro.experiments.aladdin_e2e.run_aladdin_disarm` | remote → IM ≈ 11 s |
+| E5 | :func:`~repro.experiments.wish_e2e.run_wish_location` | laptop → IM ≈ 5 s |
+| E6 | :func:`~repro.experiments.fault_tolerance.run_fault_month` | month of recoveries |
+| E7 | :func:`~repro.experiments.portal_scale.run_portal_log` | 225 k users / 778 k alerts/day |
+| E8 | :func:`~repro.experiments.delivery_comparison.run_comparison` | SIMBA vs baselines |
+| E9 | :func:`~repro.experiments.fault_tolerance.run_ha_ablation` | each HA technique matters |
+"""
+
+from repro.experiments.ablations import (
+    AckTimeoutPoint,
+    LogLatencyPoint,
+    run_ack_timeout_sweep,
+    run_log_latency_sweep,
+)
+from repro.experiments.aladdin_e2e import AladdinE2EResult, run_aladdin_disarm
+from repro.experiments.delivery_comparison import (
+    ComparisonResult,
+    StrategyMetrics,
+    run_comparison,
+)
+from repro.experiments.fault_tolerance import (
+    FaultMonthResult,
+    HAFeatures,
+    run_fault_month,
+    run_ha_ablation,
+)
+from repro.experiments.latency import (
+    run_ack_roundtrip,
+    run_im_one_way,
+    run_proxy_routing,
+)
+from repro.experiments.portal_scale import PortalScaleResult, run_portal_log
+from repro.experiments.wish_e2e import WishE2EResult, run_wish_location
+
+__all__ = [
+    "AckTimeoutPoint",
+    "AladdinE2EResult",
+    "LogLatencyPoint",
+    "run_ack_timeout_sweep",
+    "run_log_latency_sweep",
+    "ComparisonResult",
+    "FaultMonthResult",
+    "HAFeatures",
+    "PortalScaleResult",
+    "StrategyMetrics",
+    "WishE2EResult",
+    "run_ack_roundtrip",
+    "run_aladdin_disarm",
+    "run_comparison",
+    "run_fault_month",
+    "run_ha_ablation",
+    "run_im_one_way",
+    "run_portal_log",
+    "run_proxy_routing",
+    "run_wish_location",
+]

@@ -1,0 +1,162 @@
+"""Design-choice ablations called out in DESIGN.md §5.
+
+- **Ack-timeout sweep (A1)**: the block ``ack_timeout`` trades premature
+  fallback (too small: acks still in flight when the block gives up →
+  duplicate deliveries, wasted messages) against stall time when the
+  receiver really is down (too large: every failure costs the full wait).
+- **Log-write-latency sweep (A2)**: the pessimistic-log write sits on the
+  ack path; the measured ack RTT should be one-way + write + one-way, which
+  is exactly the decomposition behind the paper's 1.5 s figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.delivery_modes import im_ack_then_email
+from repro.metrics.stats import Summary, summarize
+from repro.sim.clock import MINUTE
+from repro.world import SimbaWorld, WorldConfig
+
+
+@dataclass
+class AckTimeoutPoint:
+    """One sweep point of experiment A1."""
+
+    ack_timeout: float
+    delivered_ratio: float
+    premature_fallbacks: int
+    fallbacks_during_outage: int
+    duplicates_at_mab: int
+    mean_source_latency: float
+
+
+def run_ack_timeout_sweep(
+    timeouts: tuple[float, ...] = (2.0, 5.0, 15.0, 60.0),
+    n_alerts: int = 150,
+    seed: int = 0,
+) -> list[AckTimeoutPoint]:
+    """A1: sweep the source→MAB ack timeout under periodic MAB hangs.
+
+    Workload: one alert every 30 s; every 20 minutes the MAB process hangs
+    until the MDC's probe restarts it (~1-4 minutes).  A hang is the case
+    the timeout exists for: the IM *submission* succeeds (the client is
+    still logged in) but no acknowledgement ever comes, so the block waits
+    out its full ``ack_timeout`` before falling back.
+
+    - Too small a timeout → *premature* fallbacks (and duplicate deliveries
+      at MAB) while the IM path was actually healthy.
+    - Too large a timeout → every hang-window alert stalls for the full
+      wait before the email fallback fires (latency tail).
+    """
+    points = []
+    for timeout in timeouts:
+        world = SimbaWorld(WorldConfig(seed=seed, email_loss=0.0, sms_loss=0.0))
+        user = world.create_user("alice", present=True)
+        deployment = world.create_buddy(user)
+        deployment.register_user_endpoint(user)
+        deployment.subscribe("News", user, "normal", keywords=["News"])
+        world.start_mdc(deployment, check_interval=60.0)
+        source = world.create_source("portal")
+        source.mode = im_ack_then_email(ack_timeout=timeout)
+        source.add_target(deployment.source_facing_book())
+        deployment.config.classifier.accept_source("portal")
+
+        hang_windows: list[tuple[float, float]] = []
+
+        def hangs(env):
+            while True:
+                yield env.timeout(20 * MINUTE)
+                current = deployment.current
+                if current is not None and current.alive:
+                    start = env.now
+                    current.hang()
+                    hang_windows.append((start, start + 4 * MINUTE))
+
+        def emitter(env):
+            for index in range(n_alerts):
+                source.emit("News", f"h{index}", "b")
+                yield env.timeout(30.0)
+
+        world.env.process(hangs(world.env))
+        world.env.process(emitter(world.env))
+        world.run(until=n_alerts * 30.0 + 30 * MINUTE)
+
+        premature = during_outage = 0
+        latencies = []
+        for outcome in source.outcomes:
+            latencies.append(outcome.elapsed)
+            if outcome.delivered_via == 1:
+                started = outcome.started_at
+                in_outage = any(
+                    start - timeout <= started <= end + 60.0
+                    for start, end in hang_windows
+                )
+                if in_outage:
+                    during_outage += 1
+                else:
+                    premature += 1
+        points.append(
+            AckTimeoutPoint(
+                ack_timeout=timeout,
+                delivered_ratio=(
+                    sum(1 for o in source.outcomes if o.delivered)
+                    / len(source.outcomes)
+                ),
+                premature_fallbacks=premature,
+                fallbacks_during_outage=during_outage,
+                duplicates_at_mab=deployment.journal.count(
+                    "duplicate_incoming"
+                ),
+                mean_source_latency=summarize(latencies).mean,
+            )
+        )
+    return points
+
+
+@dataclass
+class LogLatencyPoint:
+    """One sweep point of experiment A2."""
+
+    write_latency: float
+    ack_rtt: Summary
+
+
+def run_log_latency_sweep(
+    write_latencies: tuple[float, ...] = (0.0, 0.25, 0.5, 1.0, 2.0),
+    n_alerts: int = 120,
+    seed: int = 0,
+) -> list[LogLatencyPoint]:
+    """A2: ack RTT as a function of the pessimistic-log write latency."""
+    points = []
+    for write_latency in write_latencies:
+        world = SimbaWorld(
+            WorldConfig(seed=seed, log_write_latency=write_latency)
+        )
+        user = world.create_user("alice", present=True)
+        deployment = world.create_buddy(user)
+        deployment.register_user_endpoint(user)
+        deployment.subscribe("News", user, "normal", keywords=["News"])
+        deployment.launch()
+        source = world.create_source("portal")
+        source.add_target(deployment.source_facing_book())
+        deployment.config.classifier.accept_source("portal")
+
+        def emitter(env):
+            for index in range(n_alerts):
+                source.emit("News", f"h{index}", "b")
+                yield env.timeout(20.0)
+
+        world.env.process(emitter(world.env))
+        world.run(until=n_alerts * 20.0 + 5 * MINUTE)
+        rtts = [
+            outcome.blocks[0].elapsed
+            for outcome in source.outcomes
+            if outcome.delivered_via == 0
+        ]
+        points.append(
+            LogLatencyPoint(
+                write_latency=write_latency, ack_rtt=summarize(rtts)
+            )
+        )
+    return points

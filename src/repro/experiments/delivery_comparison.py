@@ -1,0 +1,207 @@
+"""Experiment E8: SIMBA delivery modes vs the two baselines (§2.3/§3.1).
+
+The paper's argument, quantified: blanket redundancy (Aladdin's original two
+emails + two SMS) gives "no guarantee that any of the four messages can
+reach the user in time" for critical alerts while being "irritating and
+cumbersome" for routine ones; email-only is neither timely nor reliable;
+SIMBA's ack-or-fallback modes deliver critical alerts fast when the user is
+reachable and degrade gracefully when not, at close to one message per
+alert.
+
+Each strategy gets an identical user (presence schedule, phone, mailbox)
+and an identical alert schedule, in one shared world with lossy channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import (
+    BlanketRedundantDelivery,
+    EmailOnlyDelivery,
+    SimbaStrategy,
+)
+from repro.core.alert import Alert, AlertSeverity
+from repro.core.user_endpoint import UserEndpoint
+from repro.metrics.stats import Summary, summarize
+from repro.sim.clock import HOUR, MINUTE
+from repro.world import SimbaWorld, WorldConfig
+
+#: An alert is "on time" if a copy reaches any user device within this many
+#: seconds — a basement flooding or an outbid auction is worthless an hour
+#: later.  15 s is generous for IM and harsh for store-and-forward channels,
+#: which is exactly the §3.1 argument.
+ON_TIME_DEADLINE = 15.0
+
+
+@dataclass
+class StrategyMetrics:
+    """What E8 reports per strategy (overall and critical-only)."""
+
+    name: str
+    alerts: int
+    delivered: int
+    on_time: int
+    critical_alerts: int
+    critical_delivered: int
+    critical_on_time: int
+    messages_per_alert: float
+    latency: Summary
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.alerts if self.alerts else float("nan")
+
+    @property
+    def on_time_ratio(self) -> float:
+        return self.on_time / self.alerts if self.alerts else float("nan")
+
+    @property
+    def critical_on_time_ratio(self) -> float:
+        if not self.critical_alerts:
+            return float("nan")
+        return self.critical_on_time / self.critical_alerts
+
+
+@dataclass
+class ComparisonResult:
+    strategies: list[StrategyMetrics]
+
+    def by_name(self, name: str) -> StrategyMetrics:
+        for metrics in self.strategies:
+            if metrics.name == name:
+                return metrics
+        raise KeyError(name)
+
+
+def run_comparison(
+    n_alerts: int = 240,
+    critical_fraction: float = 0.25,
+    seed: int = 0,
+    alert_period: float = 6 * MINUTE,
+    away_fraction: float = 0.33,
+) -> ComparisonResult:
+    """Drive the same alert schedule through all three strategies."""
+    world = SimbaWorld(WorldConfig(seed=seed, email_loss=0.02, sms_loss=0.03))
+    rng = world.rngs.stream("comparison")
+
+    users = {
+        name: world.create_user(f"alice-{name}", present=True)
+        for name in ("email-only", "redundant", "simba")
+    }
+
+    # The SIMBA arm gets the full pipeline: MAB with severity-split modes.
+    simba_user = users["simba"]
+    deployment = world.create_buddy(simba_user)
+    deployment.register_user_endpoint(simba_user)
+    deployment.subscribe("Critical", simba_user, "critical", keywords=["Critical"])
+    deployment.subscribe("Routine", simba_user, "normal", keywords=["Routine"])
+    deployment.config.classifier.accept_source("bench-source")
+    deployment.launch()
+
+    strategies = {
+        "email-only": EmailOnlyDelivery(world.env, world.email),
+        "redundant": BlanketRedundantDelivery(world.env, world.email, world.sms),
+        "simba": SimbaStrategy(
+            world.env,
+            world.create_source_endpoint("bench-source"),
+            deployment,
+            source_name="bench-source",
+        ),
+    }
+
+    # Identical presence schedule for all three users: away for a block of
+    # each hour (meetings, commuting) — IM only works while present.
+    def presence(env):
+        away = away_fraction * HOUR
+        while True:
+            for user in users.values():
+                user.set_present(True)
+            yield env.timeout(HOUR - away)
+            for user in users.values():
+                user.set_present(False)
+            yield env.timeout(away)
+
+    world.env.process(presence(world.env))
+
+    # One shared schedule of (time, severity); each strategy delivers a
+    # same-severity alert of its own to its own user.
+    schedule = [
+        (
+            30.0 + index * alert_period,
+            AlertSeverity.CRITICAL
+            if rng.random() < critical_fraction
+            else AlertSeverity.ROUTINE,
+        )
+        for index in range(n_alerts)
+    ]
+    emitted: dict[str, list[Alert]] = {name: [] for name in strategies}
+
+    def emitter(env):
+        for at, severity in schedule:
+            if at > env.now:
+                yield env.timeout(at - env.now)
+            for name, strategy in strategies.items():
+                keyword = (
+                    "Critical"
+                    if severity is AlertSeverity.CRITICAL
+                    else "Routine"
+                )
+                alert = Alert(
+                    source="bench-source",
+                    keyword=keyword,
+                    subject=f"{keyword} event",
+                    body="payload",
+                    created_at=env.now,
+                    severity=severity,
+                )
+                emitted[name].append(alert)
+                strategy.deliver(alert, users[name])
+
+    world.env.process(emitter(world.env))
+    # Long tail: email can take hours; give everything time to land.
+    world.run(until=schedule[-1][0] + 12 * HOUR)
+
+    results = []
+    for name, strategy in strategies.items():
+        results.append(
+            _score(name, emitted[name], users[name], strategy)
+        )
+    return ComparisonResult(strategies=results)
+
+
+def _score(
+    name: str, alerts: list[Alert], user: UserEndpoint, strategy
+) -> StrategyMetrics:
+    first_arrival: dict[str, float] = {}
+    for receipt in user.receipts:
+        if receipt.alert_id not in first_arrival:
+            first_arrival[receipt.alert_id] = receipt.at
+    latencies = []
+    delivered = on_time = 0
+    critical = critical_delivered = critical_on_time = 0
+    for alert in alerts:
+        is_critical = alert.severity is AlertSeverity.CRITICAL
+        critical += int(is_critical)
+        arrival = first_arrival.get(alert.alert_id)
+        if arrival is None:
+            continue
+        delivered += 1
+        critical_delivered += int(is_critical)
+        latency = arrival - alert.created_at
+        latencies.append(latency)
+        if latency <= ON_TIME_DEADLINE:
+            on_time += 1
+            critical_on_time += int(is_critical)
+    messages = user.messages_received()
+    return StrategyMetrics(
+        name=name,
+        alerts=len(alerts),
+        delivered=delivered,
+        on_time=on_time,
+        critical_alerts=critical,
+        critical_delivered=critical_delivered,
+        critical_on_time=critical_on_time,
+        messages_per_alert=messages / len(alerts) if alerts else float("nan"),
+        latency=summarize(latencies),
+    )

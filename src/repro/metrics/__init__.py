@@ -1,0 +1,18 @@
+"""Measurement helpers: latency summaries, collectors, report tables."""
+
+from repro.metrics.collector import LatencyCollector
+from repro.metrics.recovery_report import recovery_report
+from repro.metrics.reports import format_table
+from repro.metrics.stats import Summary, summarize
+from repro.metrics.timeline import TraceEvent, render_trace, trace_alert
+
+__all__ = [
+    "LatencyCollector",
+    "Summary",
+    "TraceEvent",
+    "format_table",
+    "recovery_report",
+    "render_trace",
+    "summarize",
+    "trace_alert",
+]

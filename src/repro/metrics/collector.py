@@ -1,0 +1,35 @@
+"""Labelled latency collection for experiments."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.metrics.stats import Summary, summarize
+
+
+class LatencyCollector:
+    """Accumulates samples under string labels and summarizes per label."""
+
+    def __init__(self):
+        self._samples: dict[str, list[float]] = defaultdict(list)
+
+    def record(self, label: str, value: float) -> None:
+        self._samples[label].append(float(value))
+
+    def extend(self, label: str, values: list[float]) -> None:
+        self._samples[label].extend(float(v) for v in values)
+
+    def samples(self, label: str) -> list[float]:
+        return list(self._samples.get(label, []))
+
+    def labels(self) -> list[str]:
+        return sorted(self._samples)
+
+    def summary(self, label: str) -> Summary:
+        return summarize(self._samples.get(label, []))
+
+    def report(self) -> str:
+        """Multi-line text report, one row per label."""
+        return "\n".join(
+            self.summary(label).row(label) for label in self.labels()
+        )

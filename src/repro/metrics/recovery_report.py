@@ -1,0 +1,91 @@
+"""Paper-style recovery reports from a live deployment.
+
+Turns a :class:`~repro.world.BuddyDeployment` (plus optionally its MDC and
+user) into the §5-style recovery log the paper prints for its one-month
+run — usable after any simulation, not just the E6 bench.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.metrics.reports import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.user_endpoint import UserEndpoint
+    from repro.core.watchdog import MasterDaemonController
+    from repro.world import BuddyDeployment
+
+
+def recovery_report(
+    deployment: "BuddyDeployment",
+    mdc: Optional["MasterDaemonController"] = None,
+    user: Optional["UserEndpoint"] = None,
+    title: str = "MyAlertBuddy recovery log",
+) -> str:
+    """Render all recovery bookkeeping as one table."""
+    im_stats = deployment.endpoint.im_manager.stats
+    email_stats = deployment.endpoint.email_manager.stats
+    im_monkey = deployment.endpoint.im_manager.monkey
+    email_monkey = deployment.endpoint.email_manager.monkey
+    journal = deployment.journal
+
+    rows: list[list[object]] = [
+        ["IM sanity checks run", im_stats.sanity_checks],
+        ["IM simple re-logons", im_stats.relogons],
+        ["IM client kill-and-restarts", im_stats.restarts],
+        ["email client restarts", email_stats.restarts],
+        ["monkey-thread dialog clicks",
+         len(im_monkey.clicks) + len(email_monkey.clicks)],
+    ]
+    unknown = im_monkey.unknown_captions | email_monkey.unknown_captions
+    rows.append(
+        ["unknown dialog captions seen",
+         ", ".join(sorted(unknown)) if unknown else "none"]
+    )
+
+    if mdc is not None:
+        by_reason: dict[str, int] = {}
+        for record in mdc.restarts:
+            by_reason[record.reason.value] = (
+                by_reason.get(record.reason.value, 0) + 1
+            )
+        rows.append(["MDC restarts of MAB", len(mdc.restarts)])
+        for reason, count in sorted(by_reason.items()):
+            rows.append([f"  of which {reason}", count])
+        rows.append(["machine reboots requested", mdc.reboots_requested])
+
+    by_kind: dict[str, int] = {}
+    for record in journal.rejuvenations:
+        by_kind[record.kind.value] = by_kind.get(record.kind.value, 0) + 1
+    rows.append(["rejuvenations", len(journal.rejuvenations)])
+    for kind, count in sorted(by_kind.items()):
+        rows.append([f"  of which {kind}", count])
+
+    rows.extend(
+        [
+            ["pessimistic-log entries", len(deployment.log)],
+            ["  still unprocessed", len(deployment.log.unprocessed())],
+            ["recovery replays", journal.count("recovery_replay")],
+            ["delivery retries scheduled", journal.count("retry_scheduled")],
+            ["deliveries abandoned", journal.count("delivery_abandoned")],
+            ["alerts routed", journal.count("routed")],
+            ["delivery failures (per block-set)",
+             journal.count("delivery_failed")],
+            ["incoming duplicates dropped",
+             journal.count("duplicate_incoming")],
+            ["alerts rejected (unaccepted source)", journal.count("rejected")],
+            ["alerts filtered", journal.count("filtered")],
+        ]
+    )
+
+    if user is not None:
+        rows.extend(
+            [
+                ["user: unique alerts received",
+                 len(user.unique_alerts_received())],
+                ["user: duplicates discarded", user.duplicates_discarded()],
+            ]
+        )
+
+    return format_table(["category", "count"], rows, title=title)

@@ -1,0 +1,44 @@
+"""Summary statistics for latency samples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Standard latency summary (seconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    def row(self, label: str) -> str:
+        return (
+            f"{label:<34} n={self.count:<6d} mean={self.mean:7.2f}s "
+            f"median={self.median:7.2f}s p90={self.p90:7.2f}s "
+            f"p95={self.p95:8.2f}s max={self.maximum:9.2f}s"
+        )
+
+
+def summarize(samples: list[float]) -> Summary:
+    """Summarize ``samples``; an empty list yields a NaN summary."""
+    if not samples:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan)
+    data = np.asarray(samples, dtype=float)
+    return Summary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        median=float(np.median(data)),
+        p90=float(np.percentile(data, 90)),
+        p95=float(np.percentile(data, 95)),
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+    )

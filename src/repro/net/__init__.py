@@ -1,0 +1,38 @@
+"""Communication substrates: IM, email and SMS channels.
+
+The paper's dependability argument rests on the *shape* of three channels:
+
+- **IM** — sub-second, synchronous, presence-aware, supports application-level
+  acknowledgements, but requires the recipient to be logged in and suffers
+  extended service outages.
+- **Email** — store-and-forward, always accepts a submission, but delivery
+  time is unpredictable ("seconds to days") and unacknowledged.
+- **SMS** — carrier-queued, similar unpredictability to email, and the
+  address (phone number) is privacy-sensitive.
+
+Each channel draws its per-message latency from a seeded long-tailed
+distribution and exposes outage/loss injection hooks used by the
+fault-tolerance experiments.
+"""
+
+from repro.net.channel import ChannelStats, LatencyModel
+from repro.net.email import EmailMessage, EmailService
+from repro.net.im import IMMessage, IMService, IMSession
+from repro.net.message import ChannelType, Message
+from repro.net.presence import PresenceService
+from repro.net.sms import SMSGateway, SMSMessage
+
+__all__ = [
+    "ChannelStats",
+    "ChannelType",
+    "EmailMessage",
+    "EmailService",
+    "IMMessage",
+    "IMService",
+    "IMSession",
+    "LatencyModel",
+    "Message",
+    "PresenceService",
+    "SMSGateway",
+    "SMSMessage",
+]

@@ -1,0 +1,129 @@
+"""Shared channel machinery: latency models, outages, statistics.
+
+Every concrete channel (IM, email, SMS) composes a :class:`LatencyModel`
+(seeded, long-tailed), a loss probability, and an availability flag that the
+fault injector can toggle to create outages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from repro.errors import ChannelUnavailable, ConfigurationError
+from repro.sim.rng import bounded_lognormal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Lognormal delivery-latency distribution, clipped to [low, high].
+
+    The defaults of the three channels (see their modules) are calibrated so
+    the benches land near the paper's figures: IM "typically less than one
+    second", email/SMS "seconds to days".
+    """
+
+    median: float
+    sigma: float
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if self.median <= 0 or self.sigma < 0:
+            raise ConfigurationError(
+                f"invalid latency model median={self.median} sigma={self.sigma}"
+            )
+        if not 0 <= self.low <= self.high:
+            raise ConfigurationError(
+                f"invalid latency bounds [{self.low}, {self.high}]"
+            )
+
+    def draw(self, rng: np.random.Generator) -> float:
+        """Sample one delivery latency in seconds."""
+        if self.sigma == 0:
+            return float(min(max(self.median, self.low), self.high))
+        return bounded_lognormal(rng, self.median, self.sigma, self.low, self.high)
+
+
+@dataclass
+class ChannelStats:
+    """Counters every channel keeps; benches read these directly."""
+
+    submitted: int = 0
+    delivered: int = 0
+    lost: int = 0
+    rejected: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    def record_delivery(self, latency: float) -> None:
+        self.delivered += 1
+        self.latencies.append(latency)
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return float("nan")
+        return float(np.mean(self.latencies))
+
+    @property
+    def delivery_ratio(self) -> float:
+        if self.submitted == 0:
+            return float("nan")
+        return self.delivered / self.submitted
+
+
+class ChannelBase:
+    """Availability and outage handling common to all channels."""
+
+    def __init__(self, env: "Environment", name: str):
+        self.env = env
+        self.name = name
+        self.available = True
+        self.stats = ChannelStats()
+        self._outage_listeners: list[Callable[[bool], None]] = []
+        self._outage_until: Optional[float] = None
+
+    def on_availability_change(self, listener: Callable[[bool], None]) -> None:
+        """Register a callback invoked with the new availability state."""
+        self._outage_listeners.append(listener)
+
+    def set_available(self, available: bool) -> None:
+        """Flip channel availability (fault-injection hook)."""
+        if available == self.available:
+            return
+        self.available = available
+        for listener in list(self._outage_listeners):
+            listener(available)
+
+    def outage(self, duration: float) -> None:
+        """Take the channel down for ``duration`` simulated seconds.
+
+        Overlapping outages extend each other rather than reviving the
+        channel early.
+        """
+        if duration <= 0:
+            raise ConfigurationError(f"outage duration must be > 0, got {duration}")
+        end = self.env.now + duration
+        if self._outage_until is not None and self._outage_until >= end:
+            return
+        first = self._outage_until is None or self._outage_until <= self.env.now
+        self._outage_until = end
+        if first:
+            self.set_available(False)
+            self.env.process(self._outage_timer(), name=f"{self.name}-outage")
+
+    def _outage_timer(self):
+        while self._outage_until is not None and self.env.now < self._outage_until:
+            yield self.env.timeout(self._outage_until - self.env.now)
+        self._outage_until = None
+        self.set_available(True)
+
+    def _require_available(self) -> None:
+        if not self.available:
+            self.stats.rejected += 1
+            raise ChannelUnavailable(f"channel {self.name!r} is down")

@@ -1,0 +1,199 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` moves through three states: *pending* (created, not yet
+triggered), *triggered* (scheduled on the event queue with a value or an
+exception), and *processed* (its callbacks have run).  Processes wait on
+events by yielding them; the kernel resumes the process with the event's
+value, or throws the event's exception into it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from repro.errors import EventAlreadyTriggered
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.kernel import Environment
+
+_PENDING = object()
+
+
+class Event:
+    """A condition that processes can wait for.
+
+    Events are triggered exactly once, either with :meth:`succeed` (carrying
+    a value) or :meth:`fail` (carrying an exception).  Callbacks attached via
+    :attr:`callbacks` run when the kernel pops the event off its queue.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        #: Set by :meth:`defused` consumers; a failed event whose exception
+        #: nobody observed crashes the simulation (errors never pass silently).
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        if not self.triggered:
+            raise AttributeError("event is not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value (or exception instance) the event was triggered with."""
+        if self._value is _PENDING:
+            raise AttributeError("event is not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception propagates into every process waiting on the event.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as observed so it will not crash the run."""
+        self._defused = True
+
+    def cancel(self) -> None:
+        """Withdraw this event from whatever resource is backing it.
+
+        Called when a process waiting on the event is interrupted: the wait
+        is over, so the event must not consume anything on the waiter's
+        behalf (e.g. a StoreGet must leave the store's queue, or it would
+        swallow the next item into a void).  Base events need no cleanup.
+        """
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r} at {id(self):#x}>"
+
+
+class Condition(Event):
+    """Composite event over a set of child events.
+
+    Triggers when ``evaluate`` says enough children have triggered.  If any
+    child fails before the condition triggers, the condition fails with that
+    child's exception.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[int, int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("cannot mix events from different environments")
+        if not self._events:
+            self.succeed(self._collect())
+            return
+        for event in self._events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                # A late failure after the condition already triggered must
+                # still be observed somewhere; defuse it because the condition
+                # is done and no waiter can see it.
+                event.defuse()
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._evaluate(len(self._events), self._count):
+            self.succeed(self._collect())
+
+    def cancel(self) -> None:
+        """Cancelling a condition cancels its still-pending children."""
+        for event in self._events:
+            if not event.triggered:
+                event.cancel()
+
+    def _collect(self) -> dict[Event, Any]:
+        """Snapshot of values from the children processed so far.
+
+        ``processed`` (not ``triggered``) is the right filter: a Timeout is
+        triggered from construction, but only events whose callbacks have run
+        have actually *happened* by the time the condition fires.
+        """
+        return {
+            event: event.value
+            for event in self._events
+            if event.processed and event._ok
+        }
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any child event triggers."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda total, done: done >= 1, events)
+
+
+class AllOf(Condition):
+    """Triggers when every child event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda total, done: done >= total, events)

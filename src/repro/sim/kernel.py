@@ -1,0 +1,137 @@
+"""The discrete-event simulation environment (event queue + clock).
+
+The environment owns a priority queue of ``(time, sequence, event)`` entries.
+``sequence`` is a monotonically increasing tie-breaker, so events scheduled
+for the same instant are processed in scheduling order — this, plus seeded
+randomness, makes every run bit-for-bit deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from repro.errors import SimulationError, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+
+class Environment:
+    """Execution environment for a single simulation run."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` does."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have."""
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue a triggered event for processing at ``now + delay``."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    def peek(self) -> float:
+        """Time of the next queued event, or ``float('inf')`` if idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the queue."""
+        if not self._queue:
+            raise SimulationError("no events scheduled")
+        self._now, _seq, event = heapq.heappop(self._queue)
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody waited on: surface it instead of losing it.
+            raise event.value
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (a time or an event) or queue exhaustion.
+
+        - ``until=None``: run until no events remain.
+        - ``until=<number>``: run until the clock would pass that time, then
+          set the clock exactly to it.
+        - ``until=<Event>``: run until that event is processed and return its
+          value (raising its exception if it failed).
+        """
+        if until is None:
+            stop_at = float("inf")
+        elif isinstance(until, Event):
+            if until.processed:
+                if not until.ok:
+                    raise until.value
+                return until.value
+            until.callbacks.append(self._stop_on_event)
+            try:
+                while self._queue:
+                    self.step()
+            except StopSimulation as stop:
+                return stop.value
+            raise SimulationError(
+                "run(until=event) exhausted the queue before the event fired"
+            )
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(
+                    f"cannot run until {stop_at!r}, already at {self._now!r}"
+                )
+
+        while self._queue and self._queue[0][0] <= stop_at:
+            self.step()
+        if stop_at != float("inf"):
+            self._now = max(self._now, stop_at)
+        return None
+
+    @staticmethod
+    def _stop_on_event(event: Event) -> None:
+        if not event.ok:
+            event.defuse()
+            raise event.value
+        raise StopSimulation(event.value)

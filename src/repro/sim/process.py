@@ -1,0 +1,128 @@
+"""Generator-based simulation processes.
+
+A process wraps a generator.  Each ``yield event`` suspends the process until
+the event triggers; the kernel then resumes the generator with the event's
+value (``gen.send``) or throws the event's exception into it (``gen.throw``).
+A :class:`Process` is itself an event that triggers when the generator
+returns (value = the ``StopIteration`` value) or raises.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import Interrupt
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+
+class Process(Event):
+    """A running simulation process (and the event of its termination)."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "throw"):
+            raise TypeError(
+                f"process target must be a generator, got {generator!r}"
+            )
+        super().__init__(env)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        #: The event this process is currently waiting on (None while running).
+        self._waiting_on: Optional[Event] = None
+        # Kick-start the process at the current simulation time.
+        init = Event(env)
+        init.succeed()
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`~repro.errors.Interrupt` into the process.
+
+        Used for crash/kill injection and for cancelling waits.  Interrupting
+        a finished process is an error; interrupting a process that is mid-
+        resume is delivered at its next suspension point.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        if self is self.env.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        # Deliver via a zero-delay event so interrupts obey queue ordering.
+        trigger = Event(self.env)
+        trigger.succeed()
+        trigger.callbacks.append(lambda _evt: self._deliver_interrupt(cause))
+
+    def _deliver_interrupt(self, cause: Any) -> None:
+        if not self.is_alive:
+            return  # process finished before the interrupt landed
+        target = self._waiting_on
+        if target is not None:
+            if self._resume in (target.callbacks or []):
+                target.callbacks.remove(self._resume)
+            if not target.triggered:
+                target.cancel()
+        self._waiting_on = None
+        self._step(Interrupt(cause), ok=False)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self._step(event.value, ok=event.ok)
+        if not event.ok:
+            event.defuse()
+
+    def _step(self, value: Any, ok: bool) -> None:
+        """Advance the generator one yield and wire up the next wait."""
+        self.env._active_process = self
+        try:
+            if ok:
+                target = self._generator.send(value)
+            else:
+                target = self._generator.throw(value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self._ok = False
+            self._value = exc
+            self.env.schedule(self)
+            return
+        finally:
+            self.env._active_process = None
+
+        if not isinstance(target, Event):
+            message = TypeError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+            self._step(message, ok=False)
+            return
+        if target.processed:
+            # Already-processed events resume the process on the next tick so
+            # that a tight loop over completed events cannot starve the queue.
+            rearm = Event(self.env)
+            rearm._ok = target.ok
+            rearm._value = target.value
+            self.env.schedule(rearm)
+            if not target.ok:
+                target.defuse()
+                rearm._defused = True
+            self._waiting_on = rearm
+            rearm.callbacks.append(self._resume)
+            return
+        self._waiting_on = target
+        target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        status = "alive" if self.is_alive else "finished"
+        return f"<Process {self.name!r} {status}>"

@@ -1,0 +1,125 @@
+"""FIFO stores (mailboxes) for inter-process communication.
+
+A :class:`Store` is an unbounded (or bounded) FIFO of items.  ``put`` and
+``get`` return events; a ``get`` on an empty store suspends the caller until
+an item arrives.  Stores back every message queue in the reproduction: IM
+session inboxes, SMTP relay queues, SMS carrier queues, MAB's alert inbox.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+
+class StorePut(Event):
+    """Event for a pending put; triggers when the item is accepted."""
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.store = store
+        self.item = item
+
+    def cancel(self) -> None:
+        """Interrupted putter: the item must not enter the store later."""
+        if self in self.store._putters:
+            self.store._putters.remove(self)
+
+
+class StoreGet(Event):
+    """Event for a pending get; triggers with the retrieved item."""
+
+    def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]]):
+        super().__init__(store.env)
+        self.store = store
+        self.predicate = predicate
+
+    def cancel(self) -> None:
+        """Interrupted getter: stop queueing for an item."""
+        if self in self.store._getters:
+            self.store._getters.remove(self)
+
+
+class Store:
+    """FIFO item store with optional capacity and filtered gets."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._putters: deque[StorePut] = deque()
+        self._getters: deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Add ``item``; the returned event triggers once it is stored."""
+        event = StorePut(self, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Remove and return the first item (matching ``predicate`` if given)."""
+        event = StoreGet(self, predicate)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def put_front(self, item: Any) -> None:
+        """Synchronously put ``item`` back at the head of the queue.
+
+        Used by consumers that took an item and then discovered they must
+        not process it (e.g. a stale receive loop after a restart): the item
+        goes to whoever is waiting next, in original order.  Ignores
+        capacity — the item was only borrowed.
+        """
+        self.items.appendleft(item)
+        self._dispatch()
+
+    def clear(self) -> list[Any]:
+        """Drop all stored items (used by crash injection) and return them."""
+        dropped = list(self.items)
+        self.items.clear()
+        return dropped
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Accept puts while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Satisfy getters in arrival order; a filtered getter only
+            # consumes the first item that matches its predicate.
+            pending: deque[StoreGet] = deque()
+            while self._getters:
+                get = self._getters.popleft()
+                index = self._find(get.predicate)
+                if index is None:
+                    pending.append(get)
+                    continue
+                item = self.items[index]
+                del self.items[index]
+                get.succeed(item)
+                progress = True
+            self._getters = pending
+
+    def _find(self, predicate: Optional[Callable[[Any], bool]]) -> Optional[int]:
+        if predicate is None:
+            return 0 if self.items else None
+        for index, item in enumerate(self.items):
+            if predicate(item):
+                return index
+        return None

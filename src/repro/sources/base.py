@@ -1,0 +1,128 @@
+"""Common alert-source machinery.
+
+"We modified the information alert proxy, web store alert proxy, Aladdin
+home gateway server, WISH alert server, and the desktop assistant to use the
+'IM-with-acknowledgement followed by email' delivery mode of the SIMBA
+library to deliver alerts to MyAlertBuddy" (§4.2).
+
+An :class:`AlertSource` owns a :class:`~repro.core.endpoint.SimbaEndpoint`
+(its own IM/email identities and client software) and a list of *target
+books* — the source-facing address books of the MyAlertBuddies subscribed to
+it.  Only MAB addresses appear in those books; the source never learns a
+user address (§3.3 privacy).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.addresses import AddressBook
+from repro.core.alert import Alert, AlertSeverity
+from repro.core.delivery_modes import DeliveryMode, im_ack_then_email
+from repro.core.endpoint import SimbaEndpoint
+from repro.core.router import DeliveryOutcome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+    from repro.sim.process import Process
+
+
+class AlertSource:
+    """Base class for everything that generates alerts."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        endpoint: SimbaEndpoint,
+        mode: Optional[DeliveryMode] = None,
+    ):
+        self.env = env
+        self.name = name
+        self.endpoint = endpoint
+        self.mode = mode if mode is not None else im_ack_then_email()
+        self.targets: list[AddressBook] = []
+        self.emitted: list[Alert] = []
+        self.outcomes: list[DeliveryOutcome] = []
+
+    def add_target(self, book: AddressBook) -> None:
+        """Subscribe one MyAlertBuddy (by its source-facing address book)."""
+        self.targets.append(book)
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def make_alert(
+        self,
+        keyword: str,
+        subject: str,
+        body: str,
+        severity: AlertSeverity = AlertSeverity.ROUTINE,
+        keyword_field: str = "keyword",
+    ) -> Alert:
+        return Alert(
+            source=self.name,
+            keyword=keyword,
+            subject=subject,
+            body=body,
+            created_at=self.env.now,
+            severity=severity,
+            keyword_field=keyword_field,
+        )
+
+    def emit(
+        self,
+        keyword: str,
+        subject: str,
+        body: str,
+        severity: AlertSeverity = AlertSeverity.ROUTINE,
+    ) -> tuple[Alert, list["Process"]]:
+        """Create an alert and start delivering it to every target.
+
+        Returns the alert and the per-target delivery processes (each
+        resolves to a :class:`DeliveryOutcome`).
+        """
+        alert = self.make_alert(keyword, subject, body, severity)
+        self.emitted.append(alert)
+        processes = [
+            self.env.process(
+                self._deliver(alert, book),
+                name=f"{self.name}-deliver-{alert.alert_id}",
+            )
+            for book in self.targets
+        ]
+        return alert, processes
+
+    def emit_and_wait(
+        self,
+        keyword: str,
+        subject: str,
+        body: str,
+        severity: AlertSeverity = AlertSeverity.ROUTINE,
+    ):
+        """Generator form of :meth:`emit`: wait for all deliveries."""
+        alert, processes = self.emit(keyword, subject, body, severity)
+        results = yield self.env.all_of(processes)
+        return alert, list(results.values())
+
+    def _deliver(self, alert: Alert, book: AddressBook):
+        outcome = yield from self.endpoint.deliver_alert(alert, self.mode, book)
+        self.outcomes.append(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+
+    def delivery_ratio(self) -> float:
+        if not self.outcomes:
+            return float("nan")
+        return sum(1 for o in self.outcomes if o.delivered) / len(self.outcomes)
+
+    def fallback_ratio(self) -> float:
+        """Fraction of successful deliveries that needed a backup block."""
+        delivered = [o for o in self.outcomes if o.delivered]
+        if not delivered:
+            return float("nan")
+        return sum(1 for o in delivered if o.delivered_via != 0) / len(delivered)

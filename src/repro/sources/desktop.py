@@ -1,0 +1,135 @@
+"""The SIMBA Desktop Assistant (§2.5).
+
+"We have built a SIMBA Desktop Assistant that runs on a user's primary
+machine and remains inactive until the idle time of interactive activities
+exceeds a user-specified threshold and the software determines that the user
+has not processed emails from other places.  Currently, the Assistant
+software generates alerts when high-importance emails come in and when
+high-importance reminders pop up."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.alert import Alert, AlertSeverity
+from repro.core.delivery_modes import DeliveryMode
+from repro.core.endpoint import SimbaEndpoint
+from repro.sources.base import AlertSource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+DEFAULT_IDLE_THRESHOLD = 600.0  # ten minutes away from the keyboard
+
+
+@dataclass
+class SuppressedEvent:
+    """An important event that did NOT alert (user was at the desk)."""
+
+    at: float
+    kind: str
+    subject: str
+
+
+class DesktopAssistant(AlertSource):
+    """Watches the desktop and forwards what the absent user would miss."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        endpoint: SimbaEndpoint,
+        idle_threshold: float = DEFAULT_IDLE_THRESHOLD,
+        mode: Optional[DeliveryMode] = None,
+    ):
+        super().__init__(env, name, endpoint, mode=mode)
+        self.idle_threshold = idle_threshold
+        self.last_activity = env.now
+        #: Set when the user reads mail elsewhere (webmail, another machine);
+        #: then there is no point forwarding desktop notifications.
+        self.processed_elsewhere = False
+        self.suppressed: list[SuppressedEvent] = []
+
+    # ------------------------------------------------------------------
+    # Desktop signals
+    # ------------------------------------------------------------------
+
+    def record_activity(self) -> None:
+        """Keyboard/mouse activity: the user is at the desk."""
+        self.last_activity = self.env.now
+        self.processed_elsewhere = False
+
+    def mark_processed_elsewhere(self, processed: bool = True) -> None:
+        self.processed_elsewhere = processed
+
+    @property
+    def idle_time(self) -> float:
+        return self.env.now - self.last_activity
+
+    @property
+    def active(self) -> bool:
+        """Assistant only acts once the user is demonstrably away."""
+        return self.idle_time >= self.idle_threshold and not self.processed_elsewhere
+
+    # ------------------------------------------------------------------
+    # Watched events
+    # ------------------------------------------------------------------
+
+    def email_arrived(self, subject: str, importance: str) -> Optional[Alert]:
+        """Hook the mail client calls for each incoming message."""
+        if importance != "high":
+            return None
+        return self._forward("Important email", subject)
+
+    def reminder_popped(self, subject: str, importance: str = "high") -> Optional[Alert]:
+        """Hook the calendar calls for each reminder window."""
+        if importance != "high":
+            return None
+        return self._forward("Reminder", subject)
+
+    # ------------------------------------------------------------------
+    # Mailbox watching
+    # ------------------------------------------------------------------
+
+    def watch_mailbox(self, email_service, address: str,
+                      interval: float = 60.0) -> None:
+        """Poll the user's desktop mailbox for unread high-importance mail.
+
+        The assistant "determines that the user has not processed emails
+        from other places": unread high-importance messages that linger
+        while the user is away get forwarded (once each).
+        """
+        mailbox = email_service.mailbox(address)
+        forwarded: set[int] = set()
+
+        def loop(env):
+            while True:
+                yield env.timeout(interval)
+                if not self.active:
+                    continue
+                for message in mailbox.peek_unread():
+                    if message.headers.get("importance") != "high":
+                        continue
+                    if message.message_id in forwarded:
+                        continue
+                    forwarded.add(message.message_id)
+                    self.email_arrived(message.subject, importance="high")
+
+        self.env.process(loop(self.env), name=f"{self.name}-mail-watch")
+
+    def _forward(self, kind: str, subject: str) -> Optional[Alert]:
+        if not self.active:
+            self.suppressed.append(
+                SuppressedEvent(at=self.env.now, kind=kind, subject=subject)
+            )
+            return None
+        alert, _processes = self.emit(
+            keyword=kind,
+            subject=f"[{kind}] {subject}",
+            body=f"{kind} while you were away (idle {self.idle_time:.0f}s): "
+            f"{subject}",
+            severity=AlertSeverity.IMPORTANT,
+        )
+        return alert

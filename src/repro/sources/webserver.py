@@ -1,0 +1,64 @@
+"""Simulated web sites for alert proxies to poll.
+
+"For each Web site, the user specifies the URL, the polling frequency, the
+starting and ending keywords enclosing the interesting block of information"
+(§2.1).  A :class:`SimulatedWebSite` is a tiny content store whose pages are
+mutated by scenario scripts — e.g. the Florida-recount page the paper's
+proxy watched during the 2000 election.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import SimbaError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+
+class PageNotFound(SimbaError):
+    """The polled path does not exist on this site."""
+
+
+@dataclass
+class PageChange:
+    at: float
+    path: str
+
+
+class SimulatedWebSite:
+    """A named web site with mutable pages."""
+
+    def __init__(self, env: "Environment", name: str):
+        self.env = env
+        self.name = name
+        self._pages: dict[str, str] = {}
+        self.changes: list[PageChange] = []
+        self.fetches = 0
+
+    def publish(self, path: str, content: str) -> None:
+        """Create or update a page."""
+        previous = self._pages.get(path)
+        self._pages[path] = content
+        if previous != content:
+            self.changes.append(PageChange(at=self.env.now, path=path))
+
+    def fetch(self, path: str) -> str:
+        """Read a page (what a proxy's HTTP GET returns)."""
+        self.fetches += 1
+        try:
+            return self._pages[path]
+        except KeyError:
+            raise PageNotFound(f"{self.name}: no page at {path!r}") from None
+
+    def schedule_updates(self, path: str, updates: list[tuple[float, str]]) -> None:
+        """Script future content changes: [(at_time, content), ...]."""
+        def driver(env):
+            for at, content in sorted(updates):
+                if at > env.now:
+                    yield env.timeout(at - env.now)
+                self.publish(path, content)
+
+        self.env.process(driver(self.env), name=f"{self.name}-updates")

@@ -1,0 +1,136 @@
+"""Web store / online community alert services (§2.2).
+
+"When a new photo is added to the shared community photo album, interested
+members can receive an alert containing the URL, which they can click to see
+the picture."  A :class:`CommunityStore` holds shared albums and calendars
+in a password-protected area; every mutation by a member produces a change
+record and an alert to subscribed MABs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.alert import AlertSeverity
+from repro.core.delivery_modes import DeliveryMode
+from repro.core.endpoint import SimbaEndpoint
+from repro.errors import SimbaError
+from repro.sources.base import AlertSource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+
+class NotAMember(SimbaError):
+    """Only community members may read or change shared content."""
+
+
+@dataclass
+class ChangeRecord:
+    at: float
+    member: str
+    album: str
+    item: str
+    action: str
+
+
+class CommunityStore(AlertSource):
+    """A private community area whose content changes generate alerts."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        endpoint: SimbaEndpoint,
+        mode: Optional[DeliveryMode] = None,
+    ):
+        super().__init__(env, name, endpoint, mode=mode)
+        self.members: set[str] = set()
+        self.albums: dict[str, dict[str, str]] = {}
+        self.changes: list[ChangeRecord] = []
+
+    # ------------------------------------------------------------------
+    # Membership & content
+    # ------------------------------------------------------------------
+
+    def add_member(self, member: str) -> None:
+        self.members.add(member)
+
+    def create_album(self, member: str, album: str) -> None:
+        self._require_member(member)
+        self.albums.setdefault(album, {})
+
+    def add_photo(self, member: str, album: str, photo: str, data: str = "") -> str:
+        """Upload a photo; returns its URL and alerts subscribers."""
+        self._require_member(member)
+        if album not in self.albums:
+            raise SimbaError(f"no album {album!r} in community {self.name!r}")
+        self.albums[album][photo] = data
+        url = f"http://{self.name}/albums/{album}/{photo}"
+        self._change(member, album, photo, "photo added", url)
+        return url
+
+    def update_calendar(self, member: str, event: str) -> None:
+        """Post a community calendar event."""
+        self._require_member(member)
+        self._change(member, "calendar", event, "calendar updated", "")
+
+    def list_album(self, member: str, album: str) -> list[str]:
+        self._require_member(member)
+        return sorted(self.albums.get(album, {}))
+
+    def _require_member(self, member: str) -> None:
+        if member not in self.members:
+            raise NotAMember(f"{member!r} is not a member of {self.name!r}")
+
+    # ------------------------------------------------------------------
+    # Web mirroring (§2.2: "we use the alert proxy to periodically monitor
+    # the community sites and send alerts upon detecting changes")
+    # ------------------------------------------------------------------
+
+    def mirror_to_site(self, site, path: str = "/albums") -> None:
+        """Publish the community's album listing as a web page.
+
+        Each content change re-renders the page, so an
+        :class:`~repro.sources.proxy.AlertProxy` polling ``path`` between
+        the configured keywords detects exactly the §2.2 events.
+        """
+        self._mirror = (site, path)
+        self._render_mirror()
+
+    def _render_mirror(self) -> None:
+        mirror = getattr(self, "_mirror", None)
+        if mirror is None:
+            return
+        site, path = mirror
+        lines = [f"<h1>{self.name}</h1>", "<albums>"]
+        for album in sorted(self.albums):
+            photos = ", ".join(sorted(self.albums[album])) or "(empty)"
+            lines.append(f"{album}: {photos}")
+        lines.append("</albums>")
+        site.publish(path, "\n".join(lines))
+
+    # ------------------------------------------------------------------
+    # Alerts
+    # ------------------------------------------------------------------
+
+    def _change(
+        self, member: str, album: str, item: str, action: str, url: str
+    ) -> None:
+        self.changes.append(
+            ChangeRecord(
+                at=self.env.now, member=member, album=album, item=item,
+                action=action,
+            )
+        )
+        self._render_mirror()
+        body = f"{member} — {action}: {item}"
+        if url:
+            body += f"\nsee {url}"
+        self.emit(
+            keyword=f"{self.name} update",
+            subject=f"{action} in {album}",
+            body=body,
+            severity=AlertSeverity.ROUTINE,
+        )

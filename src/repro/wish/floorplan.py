@@ -1,0 +1,112 @@
+"""Building floor plans: rooms, access points, positions.
+
+The WISH server keeps "a table that maps each AP to a physical location"
+(§2.4); regions are the granularity of location alerts ("enters a building,
+moves to a different part of the building, and/or leaves the building").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+Point = tuple[float, float]
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """One 802.11 AP at a fixed position."""
+
+    ap_id: str
+    position: Point
+
+    def distance_to(self, point: Point) -> float:
+        return math.dist(self.position, point)
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned named area of the building (a room, a wing)."""
+
+    name: str
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self):
+        if self.x_min >= self.x_max or self.y_min >= self.y_max:
+            raise ConfigurationError(f"degenerate region {self.name!r}")
+
+    def contains(self, point: Point) -> bool:
+        x, y = point
+        return self.x_min <= x < self.x_max and self.y_min <= y < self.y_max
+
+
+class FloorPlan:
+    """One building: bounding regions plus AP placements."""
+
+    #: Region name reported for positions outside every region (and outside
+    #: the building once the client stops hearing any AP).
+    OUTSIDE = "outside"
+
+    def __init__(self, name: str):
+        self.name = name
+        self._regions: list[Region] = []
+        self._aps: dict[str, AccessPoint] = {}
+
+    def add_region(self, region: Region) -> Region:
+        if any(r.name == region.name for r in self._regions):
+            raise ConfigurationError(f"duplicate region {region.name!r}")
+        self._regions.append(region)
+        return region
+
+    def add_ap(self, ap_id: str, position: Point) -> AccessPoint:
+        if ap_id in self._aps:
+            raise ConfigurationError(f"duplicate AP {ap_id!r}")
+        ap = AccessPoint(ap_id=ap_id, position=position)
+        self._aps[ap_id] = ap
+        return ap
+
+    @property
+    def access_points(self) -> list[AccessPoint]:
+        return list(self._aps.values())
+
+    def ap(self, ap_id: str) -> AccessPoint:
+        return self._aps[ap_id]
+
+    @property
+    def regions(self) -> list[Region]:
+        return list(self._regions)
+
+    def region_at(self, point: Optional[Point]) -> str:
+        """Name of the region containing ``point`` (first match wins)."""
+        if point is None:
+            return self.OUTSIDE
+        for region in self._regions:
+            if region.contains(point):
+                return region.name
+        return self.OUTSIDE
+
+    def grid_points(self, spacing: float) -> list[Point]:
+        """Sample points covering all regions — the fingerprint lattice."""
+        if spacing <= 0:
+            raise ConfigurationError("grid spacing must be positive")
+        if not self._regions:
+            return []
+        x_min = min(r.x_min for r in self._regions)
+        x_max = max(r.x_max for r in self._regions)
+        y_min = min(r.y_min for r in self._regions)
+        y_max = max(r.y_max for r in self._regions)
+        points = []
+        x = x_min + spacing / 2
+        while x < x_max:
+            y = y_min + spacing / 2
+            while y < y_max:
+                points.append((x, y))
+                y += spacing
+            x += spacing
+        return points

@@ -1,0 +1,83 @@
+"""RF signal propagation model (RADAR-style log-distance path loss).
+
+Received power at distance ``d`` from a transmitter::
+
+    P(d) = p0 - 10 * n * log10(max(d, d0) / d0)  [+ shadowing noise]
+
+with ``p0`` the power at reference distance ``d0`` and ``n`` the path-loss
+exponent (~2 free space, 3-4 indoors).  The WISH server uses the noiseless
+model for its fingerprint table; clients measure with lognormal shadowing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Below this received power the AP is simply not heard.
+DEFAULT_SENSITIVITY_DBM = -90.0
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Log-distance path loss with optional Gaussian shadowing."""
+
+    p0_dbm: float = -30.0
+    d0: float = 1.0
+    exponent: float = 3.0
+    shadowing_sigma_db: float = 3.0
+    sensitivity_dbm: float = DEFAULT_SENSITIVITY_DBM
+
+    def __post_init__(self):
+        if self.d0 <= 0:
+            raise ConfigurationError(f"reference distance must be > 0, got {self.d0}")
+        if self.exponent <= 0:
+            raise ConfigurationError(
+                f"path-loss exponent must be > 0, got {self.exponent}"
+            )
+        if self.shadowing_sigma_db < 0:
+            raise ConfigurationError("shadowing sigma must be >= 0")
+
+    def mean_power(self, distance: float) -> float:
+        """Noiseless received power in dBm at ``distance`` metres."""
+        effective = max(distance, self.d0)
+        return self.p0_dbm - 10.0 * self.exponent * math.log10(
+            effective / self.d0
+        )
+
+    def measure(
+        self, distance: float, rng: Optional[np.random.Generator] = None
+    ) -> Optional[float]:
+        """One noisy measurement; None when below receiver sensitivity."""
+        power = self.mean_power(distance)
+        if rng is not None and self.shadowing_sigma_db > 0:
+            power += float(rng.normal(0.0, self.shadowing_sigma_db))
+        if power < self.sensitivity_dbm:
+            return None
+        return power
+
+
+def signal_distance(
+    sample_a: dict[str, float],
+    sample_b: dict[str, float],
+    missing_dbm: float = DEFAULT_SENSITIVITY_DBM,
+) -> float:
+    """Euclidean distance between two signal-space samples.
+
+    APs missing from one sample count as being at the sensitivity floor —
+    not hearing an AP is informative.
+    """
+    keys = set(sample_a) | set(sample_b)
+    if not keys:
+        return 0.0
+    total = 0.0
+    for key in keys:
+        a = sample_a.get(key, missing_dbm)
+        b = sample_b.get(key, missing_dbm)
+        total += (a - b) ** 2
+    return math.sqrt(total)

@@ -1,0 +1,26 @@
+"""Workload and faultload generators.
+
+- :mod:`~repro.workloads.arrivals` — Poisson and diurnal arrival processes.
+- :mod:`~repro.workloads.portal_log` — synthesizes the commercial-portal
+  usage log of §1 (~225 k users, ~778 k alerts/day).
+- :mod:`~repro.workloads.faultload` — a one-month fault schedule matching
+  the category mix of the paper's §5 recovery log.
+"""
+
+from repro.workloads.arrivals import DiurnalProfile, poisson_arrival_times
+from repro.workloads.faultload import (
+    FaultloadSpec,
+    generate_month_faultload,
+    paper_faultload_spec,
+)
+from repro.workloads.portal_log import LogRecord, PortalLogGenerator
+
+__all__ = [
+    "DiurnalProfile",
+    "FaultloadSpec",
+    "LogRecord",
+    "PortalLogGenerator",
+    "generate_month_faultload",
+    "paper_faultload_spec",
+    "poisson_arrival_times",
+]

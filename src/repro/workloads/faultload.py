@@ -1,0 +1,177 @@
+"""One-month faultload matching the paper's §5 recovery log.
+
+"Within a one-month period of time, there were five extended IM downtimes
+lasting from 4 to 103 minutes.  In addition, there were nine instances where
+MyAlertBuddy was logged out and simple re-logon attempts worked.  In another
+nine instances, the hanging IM client had to be killed and restarted in
+order to re-log in.  There were 36 restarts of MyAlertBuddy by the MDC.
+Most of them were triggered by IM exceptions ...  The fault-tolerance
+mechanisms effectively recovered MyAlertBuddy from all failures except
+three: one failure was caused by a rare power outage in the office; another
+two were caused by previously unknown dialog boxes."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.clock import DAY, MINUTE
+from repro.sim.failures import FaultKind, ScheduledFault
+
+MONTH = 30 * DAY
+
+#: Standard injection-target names used by the fault-tolerance harness.
+TARGET_IM_SERVICE = "im-service"
+TARGET_IM_CLIENT = "im-client"
+TARGET_MAB = "mab"
+TARGET_HOST = "host"
+TARGET_SCREEN = "screen"
+
+
+@dataclass(frozen=True)
+class FaultloadSpec:
+    """How many of each fault category to inject over ``duration``."""
+
+    duration: float = MONTH
+    im_outages: int = 5
+    im_outage_min: float = 4 * MINUTE
+    im_outage_max: float = 103 * MINUTE
+    client_logouts: int = 9
+    client_hangs: int = 9
+    mab_faults: int = 36
+    #: Fraction of MAB faults that are hangs (the rest crash outright).
+    mab_hang_fraction: float = 0.4
+    known_dialogs: int = 6
+    unknown_dialogs: int = 2
+    power_outages: int = 1
+    power_outage_duration: float = 20 * MINUTE
+    memory_leaks: int = 2
+
+    def total_faults(self) -> int:
+        return (
+            self.im_outages
+            + self.client_logouts
+            + self.client_hangs
+            + self.mab_faults
+            + self.known_dialogs
+            + self.unknown_dialogs
+            + self.power_outages
+            + self.memory_leaks
+        )
+
+
+def paper_faultload_spec() -> FaultloadSpec:
+    """The exact §5 category mix over one month."""
+    return FaultloadSpec()
+
+
+#: Caption/button pairs the IM Manager's monkey thread knows how to click
+#: (they must match ``IMManager.CLIENT_DIALOG_RULES``).
+KNOWN_DIALOG_CAPTIONS = (
+    ("Connection lost", "OK"),
+    ("Signed in at another location", "OK"),
+    ("IM service unavailable", "Retry"),
+)
+#: Captions nobody has registered — the paper's two unrecovered failures.
+UNKNOWN_DIALOG_CAPTIONS = (
+    "MSVCRT.DLL entry point not found",
+    "Your trial period has expired",
+)
+
+
+def generate_month_faultload(
+    rng: np.random.Generator,
+    spec: FaultloadSpec | None = None,
+    start: float = DAY,
+) -> list[ScheduledFault]:
+    """A reproducible fault schedule with the spec's category mix.
+
+    Faults are spread uniformly over ``[start, start + spec.duration)``;
+    a one-day head start leaves the system a quiet burn-in period.
+    """
+    if spec is None:
+        spec = paper_faultload_spec()
+    faults: list[ScheduledFault] = []
+
+    def when() -> float:
+        return float(start + rng.uniform(0.0, spec.duration))
+
+    for _ in range(spec.im_outages):
+        faults.append(
+            ScheduledFault(
+                at=when(),
+                kind=FaultKind.IM_SERVICE_OUTAGE,
+                target=TARGET_IM_SERVICE,
+                duration=float(
+                    rng.uniform(spec.im_outage_min, spec.im_outage_max)
+                ),
+            )
+        )
+    for _ in range(spec.client_logouts):
+        faults.append(
+            ScheduledFault(
+                at=when(), kind=FaultKind.CLIENT_LOGOUT, target=TARGET_IM_CLIENT
+            )
+        )
+    for _ in range(spec.client_hangs):
+        faults.append(
+            ScheduledFault(
+                at=when(), kind=FaultKind.CLIENT_HANG, target=TARGET_IM_CLIENT
+            )
+        )
+    for _ in range(spec.mab_faults):
+        hang = rng.random() < spec.mab_hang_fraction
+        faults.append(
+            ScheduledFault(
+                at=when(),
+                kind=FaultKind.PROCESS_HANG if hang else FaultKind.PROCESS_CRASH,
+                target=TARGET_MAB,
+            )
+        )
+    for index in range(spec.known_dialogs):
+        caption, button = KNOWN_DIALOG_CAPTIONS[
+            index % len(KNOWN_DIALOG_CAPTIONS)
+        ]
+        faults.append(
+            ScheduledFault(
+                at=when(),
+                kind=FaultKind.DIALOG_POPUP,
+                target=TARGET_SCREEN,
+                params={"caption": caption, "button": button},
+            )
+        )
+    for index in range(spec.unknown_dialogs):
+        faults.append(
+            ScheduledFault(
+                at=when(),
+                kind=FaultKind.UNKNOWN_DIALOG_POPUP,
+                target=TARGET_SCREEN,
+                params={
+                    "caption": UNKNOWN_DIALOG_CAPTIONS[
+                        index % len(UNKNOWN_DIALOG_CAPTIONS)
+                    ],
+                    "button": "OK",
+                },
+            )
+        )
+    for _ in range(spec.power_outages):
+        faults.append(
+            ScheduledFault(
+                at=when(),
+                kind=FaultKind.POWER_OUTAGE,
+                target=TARGET_HOST,
+                duration=spec.power_outage_duration,
+            )
+        )
+    for _ in range(spec.memory_leaks):
+        faults.append(
+            ScheduledFault(
+                at=when(),
+                kind=FaultKind.MEMORY_LEAK,
+                target=TARGET_MAB,
+                params={"megabytes": 300.0},
+            )
+        )
+    return sorted(faults, key=lambda f: f.at)

@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list_shows_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in EXPERIMENTS:
+        assert key in out
+
+
+def test_run_e1(capsys):
+    assert main(["e1"]) == 0
+    out = capsys.readouterr().out
+    assert "E1" in out and "measured" in out
+
+
+def test_run_e2_with_seed(capsys):
+    assert main(["e2", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "ack round trip" in out
+
+
+def test_case_insensitive_id(capsys):
+    assert main(["E3"]) == 0
+    assert "E3" in capsys.readouterr().out
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["e42"])
+    assert excinfo.value.code == 2
+
+
+def test_experiment_registry_complete():
+    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 10)}

@@ -1,0 +1,145 @@
+"""Compound faults: overlapping failures that stress recovery interleaving.
+
+Single faults are covered by test_recovery_liveness; these scenarios stack
+failures the way a genuinely bad day does — outage during hang, crash during
+recovery replay, power loss mid-outage — and still demand eventual delivery.
+"""
+
+import pytest
+
+from repro.net import ChannelType, LatencyModel
+from repro.sim import HOUR, MINUTE
+from repro.world import SimbaWorld, WorldConfig
+
+IM_FIXED = LatencyModel(median=0.4, sigma=0.0, low=0.0, high=10.0)
+EMAIL_FAST = LatencyModel(median=20.0, sigma=0.4, low=2.0, high=600.0)
+
+
+def make_rig(seed=30):
+    world = SimbaWorld(
+        WorldConfig(
+            seed=seed, im_latency=IM_FIXED, email_latency=EMAIL_FAST,
+            email_loss=0.0, sms_loss=0.0,
+        )
+    )
+    user = world.create_user("alice", present=True)
+    deployment = world.create_buddy(user)
+    deployment.register_user_endpoint(user)
+    deployment.subscribe("News", user, "normal", keywords=["News"])
+    mdc = world.start_mdc(deployment, check_interval=60.0)
+    source = world.create_source("portal")
+    source.add_target(deployment.source_facing_book())
+    deployment.config.classifier.accept_source("portal")
+    return world, user, deployment, source, mdc
+
+
+def test_im_outage_during_mab_hang():
+    world, user, deployment, source, mdc = make_rig(seed=31)
+
+    def scenario(env):
+        yield env.timeout(5 * MINUTE)
+        deployment.current.hang()
+        yield env.timeout(30.0)
+        world.im.outage(5 * MINUTE)  # outage starts while MAB is hung
+        yield env.timeout(60.0)
+        source.emit("News", "mid-chaos", "b")
+
+    world.env.process(scenario(world.env))
+    world.run(until=HOUR)
+    assert len(user.unique_alerts_received()) == 1
+    # The MDC restarted the hung MAB and the sanity checks re-logged-in
+    # after the outage — both recovery paths fired.
+    from repro.core.watchdog import RestartReason
+
+    assert any(r.reason is RestartReason.PROBE_TIMEOUT for r in mdc.restarts)
+    assert world.im.presence.is_online(deployment.im_address)
+
+
+def test_crash_during_recovery_replay():
+    world, user, deployment, source, mdc = make_rig(seed=32)
+
+    def scenario(env):
+        # Three alerts get logged+acked, then MAB crashes mid-processing.
+        for index in range(3):
+            source.emit("News", f"h{index}", "b")
+            yield env.timeout(2.0)
+        deployment.current.crash()
+        # Wait for the restart, then crash AGAIN the moment replay starts.
+        yield env.timeout(90.0)
+        current = deployment.current
+        if current is not None and current.alive:
+            current.crash()
+
+    world.env.process(scenario(world.env))
+    world.run(until=HOUR)
+    # After the second restart, every logged alert was still replayed:
+    # the log only marks Processed after routing completes.
+    assert len(user.unique_alerts_received()) == 3
+    assert deployment.log.unprocessed() == []
+
+
+def test_power_outage_during_im_outage():
+    world, user, deployment, source, mdc = make_rig(seed=33)
+
+    def scenario(env):
+        yield env.timeout(5 * MINUTE)
+        world.im.outage(10 * MINUTE)
+        yield env.timeout(MINUTE)
+        world.host.power_failure(5 * MINUTE)  # host dies inside the outage
+        yield env.timeout(30 * MINUTE)  # both recovered by now
+        source.emit("News", "after the storm", "b")
+
+    world.env.process(scenario(world.env))
+    world.run(until=2 * HOUR)
+    assert world.host.up
+    receipts = user.receipts
+    assert len(user.unique_alerts_received()) == 1
+    assert receipts[0].channel is ChannelType.IM  # full IM path restored
+
+
+def test_unknown_dialog_plus_client_hang():
+    world, user, deployment, source, mdc = make_rig(seed=34)
+
+    def scenario(env):
+        yield env.timeout(5 * MINUTE)
+        world.host.screen.pop_dialog("Totally new dialog", ("OK",),
+                                     owner=None)
+        yield env.timeout(MINUTE)
+        deployment.endpoint.im_client.hang()  # stacked on the dialog
+        # Alerts emitted now can reach MAB only by email.
+        source.emit("News", "during double fault", "b")
+        yield env.timeout(10 * MINUTE)
+        # Operator fix for the dialog; sanity checks fix the hang.
+        deployment.endpoint.im_manager.register_dialog_rule(
+            "Totally new dialog", "OK"
+        )
+        yield env.timeout(10 * MINUTE)
+        source.emit("News", "after both fixed", "b")
+
+    world.env.process(scenario(world.env))
+    world.run(until=2 * HOUR)
+    assert len(user.unique_alerts_received()) == 2
+    # The post-fix alert rode the healthy IM path end to end.
+    last = [r for r in user.receipts if not r.duplicate][-1]
+    assert last.channel is ChannelType.IM
+    assert last.latency < 10.0
+
+
+def test_rejuvenation_race_with_crash():
+    # A crash landing within the same minute as the 23:30 rejuvenation.
+    world, user, deployment, source, mdc = make_rig(seed=35)
+
+    def scenario(env):
+        yield env.timeout(23.5 * HOUR - 5.0)
+        current = deployment.current
+        if current is not None and current.alive:
+            current.crash()
+        yield env.timeout(HOUR)
+        source.emit("News", "next morning", "b")
+
+    world.env.process(scenario(world.env))
+    world.run(until=26 * HOUR)
+    assert len(user.unique_alerts_received()) == 1
+    # Exactly one incarnation is alive at the end (no zombie pile-up).
+    alive = [b for b in deployment.incarnations if b.alive]
+    assert len(alive) == 1

@@ -1,0 +1,181 @@
+"""Unit + property tests for Alert, UserAddress/AddressBook."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Alert, AlertSeverity, AddressBook, UserAddress
+from repro.errors import AddressUnknownError, ConfigurationError
+from repro.net import ChannelType
+
+
+def make_alert(**overrides):
+    defaults = dict(
+        source="aladdin",
+        keyword="Sensor ON",
+        subject="Basement Water Sensor ON",
+        body="water detected at 3cm",
+        created_at=123.5,
+        severity=AlertSeverity.CRITICAL,
+    )
+    defaults.update(overrides)
+    return Alert(**defaults)
+
+
+class TestAlert:
+    def test_ids_unique(self):
+        assert make_alert().alert_id != make_alert().alert_id
+
+    def test_with_category_copies(self):
+        alert = make_alert()
+        tagged = alert.with_category("Home Safety")
+        assert tagged.personal_category == "Home Safety"
+        assert alert.personal_category is None
+        assert tagged.alert_id == alert.alert_id
+
+    def test_encode_decode_roundtrip(self):
+        alert = make_alert()
+        decoded = Alert.decode(alert.encode())
+        assert decoded.alert_id == alert.alert_id
+        assert decoded.source == alert.source
+        assert decoded.keyword == alert.keyword
+        assert decoded.subject == alert.subject
+        assert decoded.body == alert.body
+        assert decoded.created_at == alert.created_at
+        assert decoded.severity == alert.severity
+
+    def test_decode_rejects_non_alert(self):
+        with pytest.raises(ValueError):
+            Alert.decode("just an ordinary message")
+
+    def test_decode_rejects_truncated_header(self):
+        with pytest.raises(ValueError):
+            Alert.decode("SIMBA-ALERT/1\nid=x\n\nbody")
+
+    def test_is_alert_payload(self):
+        assert Alert.is_alert_payload(make_alert().encode())
+        assert not Alert.is_alert_payload("hello")
+
+    def test_duplicate_key(self):
+        alert = make_alert()
+        assert alert.duplicate_key() == (alert.alert_id, 123.5)
+
+    @given(
+        body=st.text(
+            alphabet=st.characters(blacklist_categories=("Cs",)), max_size=500
+        ),
+        subject=st.text(
+            alphabet=st.characters(
+                blacklist_categories=("Cs",), blacklist_characters="\n\r"
+            ),
+            min_size=0,
+            max_size=80,
+        ),
+        keyword=st.text(
+            alphabet=st.characters(
+                blacklist_categories=("Cs",), blacklist_characters="\n\r"
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        created_at=st.floats(
+            min_value=0, max_value=1e9, allow_nan=False, allow_infinity=False
+        ),
+        severity=st.sampled_from(list(AlertSeverity)),
+    )
+    def test_wire_roundtrip_property(
+        self, body, subject, keyword, created_at, severity
+    ):
+        alert = Alert(
+            source="portal",
+            keyword=keyword,
+            subject=subject,
+            body=body,
+            created_at=created_at,
+            severity=severity,
+        )
+        decoded = Alert.decode(alert.encode())
+        assert decoded.keyword == keyword
+        assert decoded.subject == subject
+        assert decoded.body == body
+        assert decoded.created_at == created_at
+        assert decoded.severity == severity
+
+
+class TestAddressBook:
+    def _book(self):
+        book = AddressBook(owner="alice")
+        book.add(UserAddress("MSN IM", ChannelType.IM, "alice@im"))
+        book.add(UserAddress("Cell SMS", ChannelType.SMS, "+14255550100"))
+        book.add(UserAddress("Work email", ChannelType.EMAIL, "alice@work"))
+        return book
+
+    def test_add_and_get(self):
+        book = self._book()
+        assert book.get("MSN IM").address == "alice@im"
+        assert len(book) == 3
+        assert "Cell SMS" in book
+
+    def test_duplicate_name_rejected(self):
+        book = self._book()
+        with pytest.raises(ConfigurationError):
+            book.add(UserAddress("MSN IM", ChannelType.IM, "other@im"))
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(AddressUnknownError):
+            self._book().get("Pager")
+
+    def test_remove(self):
+        book = self._book()
+        book.remove("Cell SMS")
+        assert "Cell SMS" not in book
+        with pytest.raises(AddressUnknownError):
+            book.remove("Cell SMS")
+
+    def test_enable_disable(self):
+        book = self._book()
+        book.set_enabled("Cell SMS", False)
+        assert not book.get("Cell SMS").enabled
+        assert [a.friendly_name for a in book.enabled_addresses()] == [
+            "MSN IM",
+            "Work email",
+        ]
+        book.set_enabled("Cell SMS", True)
+        assert book.get("Cell SMS").enabled
+
+    def test_first_of_type_respects_enabled(self):
+        book = self._book()
+        assert book.first_of_type(ChannelType.SMS).address == "+14255550100"
+        book.set_enabled("Cell SMS", False)
+        assert book.first_of_type(ChannelType.SMS) is None
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UserAddress("", ChannelType.IM, "a@im")
+        with pytest.raises(ConfigurationError):
+            UserAddress("IM", ChannelType.IM, "")
+
+
+class TestAlertWireDetails:
+    def test_keyword_field_roundtrips(self):
+        for field in ("subject", "sender", "keyword"):
+            alert = make_alert(keyword_field=field)
+            assert Alert.decode(alert.encode()).keyword_field == field
+
+    def test_severity_values(self):
+        assert AlertSeverity("routine") is AlertSeverity.ROUTINE
+        assert AlertSeverity("critical") is AlertSeverity.CRITICAL
+
+    def test_encode_contains_wire_version(self):
+        assert make_alert().encode().startswith("SIMBA-ALERT/1\n")
+
+    def test_body_with_blank_lines_preserved(self):
+        alert = make_alert(body="para one\n\npara two\n\n\npara three")
+        assert Alert.decode(alert.encode()).body == (
+            "para one\n\npara two\n\n\npara three"
+        )
+
+    def test_header_with_newline_subject_survives(self):
+        alert = make_alert(subject="line1\nline2")
+        decoded = Alert.decode(alert.encode())
+        assert decoded.subject == "line1\nline2"
+        assert decoded.body == alert.body

@@ -1,0 +1,225 @@
+"""Unit + property tests for delivery modes and the XML codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    Action,
+    AddressBook,
+    CommunicationBlock,
+    DeliveryMode,
+    UserAddress,
+)
+from repro.core.delivery_modes import im_ack_then_email
+from repro.core.xml_codec import (
+    address_book_from_xml,
+    address_book_to_xml,
+    delivery_mode_from_xml,
+    delivery_mode_to_xml,
+)
+from repro.errors import ConfigurationError
+from repro.net import ChannelType
+
+
+class TestDeliveryModeModel:
+    def test_block_requires_actions(self):
+        with pytest.raises(ConfigurationError):
+            CommunicationBlock(actions=[])
+
+    def test_block_rejects_duplicate_actions(self):
+        with pytest.raises(ConfigurationError):
+            CommunicationBlock(actions=[Action("IM"), Action("IM")])
+
+    def test_block_rejects_nonpositive_timeout(self):
+        with pytest.raises(ConfigurationError):
+            CommunicationBlock(actions=[Action("IM")], ack_timeout=0.0)
+
+    def test_mode_requires_blocks(self):
+        with pytest.raises(ConfigurationError):
+            DeliveryMode(name="empty", blocks=[])
+
+    def test_mode_requires_name(self):
+        with pytest.raises(ConfigurationError):
+            DeliveryMode(name="", blocks=[CommunicationBlock([Action("IM")])])
+
+    def test_action_requires_ref(self):
+        with pytest.raises(ConfigurationError):
+            Action("")
+
+    def test_referenced_addresses(self):
+        mode = DeliveryMode(
+            name="m",
+            blocks=[
+                CommunicationBlock([Action("IM")], require_ack=True),
+                CommunicationBlock([Action("SMS"), Action("Email")]),
+            ],
+        )
+        assert mode.referenced_addresses() == {"IM", "SMS", "Email"}
+
+    def test_im_ack_then_email_canonical_shape(self):
+        mode = im_ack_then_email("My IM", "My Email", ack_timeout=8.0)
+        assert len(mode.blocks) == 2
+        assert mode.blocks[0].require_ack and mode.blocks[0].ack_timeout == 8.0
+        assert [a.address_ref for a in mode.blocks[0].actions] == ["My IM"]
+        assert not mode.blocks[1].require_ack
+        assert [a.address_ref for a in mode.blocks[1].actions] == ["My Email"]
+
+
+class TestModeXml:
+    def _sample(self):
+        return DeliveryMode(
+            name="Critical",
+            blocks=[
+                CommunicationBlock(
+                    [Action("MSN IM")], require_ack=True, ack_timeout=15.0
+                ),
+                CommunicationBlock([Action("Cell SMS"), Action("Work email")]),
+            ],
+        )
+
+    def test_roundtrip(self):
+        mode = self._sample()
+        restored = delivery_mode_from_xml(delivery_mode_to_xml(mode))
+        assert restored == mode
+
+    def test_figure4_shape_two_blocks(self):
+        xml = delivery_mode_to_xml(self._sample())
+        assert xml.count("<block") == 2
+        assert xml.count("<action") == 3
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ConfigurationError):
+            delivery_mode_from_xml("<deliveryMode name='x'><block>")
+
+    def test_parse_rejects_wrong_root(self):
+        with pytest.raises(ConfigurationError):
+            delivery_mode_from_xml("<notAMode/>")
+
+    def test_parse_rejects_missing_name(self):
+        with pytest.raises(ConfigurationError):
+            delivery_mode_from_xml(
+                "<deliveryMode><block><action address='x'/></block></deliveryMode>"
+            )
+
+    def test_parse_rejects_action_without_address(self):
+        with pytest.raises(ConfigurationError):
+            delivery_mode_from_xml(
+                "<deliveryMode name='m'><block><action/></block></deliveryMode>"
+            )
+
+    def test_parse_rejects_unknown_elements(self):
+        with pytest.raises(ConfigurationError):
+            delivery_mode_from_xml("<deliveryMode name='m'><frob/></deliveryMode>")
+        with pytest.raises(ConfigurationError):
+            delivery_mode_from_xml(
+                "<deliveryMode name='m'><block><frob/></block></deliveryMode>"
+            )
+
+    def test_parse_rejects_bad_timeout(self):
+        with pytest.raises(ConfigurationError):
+            delivery_mode_from_xml(
+                "<deliveryMode name='m'>"
+                "<block requireAck='true' ackTimeout='soon'>"
+                "<action address='IM'/></block></deliveryMode>"
+            )
+
+    def test_parse_rejects_bad_bool(self):
+        with pytest.raises(ConfigurationError):
+            delivery_mode_from_xml(
+                "<deliveryMode name='m'><block requireAck='maybe'>"
+                "<action address='IM'/></block></deliveryMode>"
+            )
+
+    _names = st.text(
+        alphabet=st.characters(
+            whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x7F
+        ),
+        min_size=1,
+        max_size=12,
+    )
+
+    @given(
+        name=_names,
+        blocks=st.lists(
+            st.tuples(
+                st.lists(_names, min_size=1, max_size=4, unique=True),
+                st.booleans(),
+                st.floats(min_value=0.1, max_value=600.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+    )
+    def test_roundtrip_property(self, name, blocks):
+        mode = DeliveryMode(
+            name=name,
+            blocks=[
+                CommunicationBlock(
+                    [Action(ref) for ref in refs],
+                    require_ack=require_ack,
+                    ack_timeout=timeout,
+                )
+                for refs, require_ack, timeout in blocks
+            ],
+        )
+        restored = delivery_mode_from_xml(delivery_mode_to_xml(mode))
+        assert restored.name == mode.name
+        assert len(restored.blocks) == len(mode.blocks)
+        for got, want in zip(restored.blocks, mode.blocks):
+            assert got.actions == want.actions
+            assert got.require_ack == want.require_ack
+            if want.require_ack:
+                assert got.ack_timeout == want.ack_timeout
+
+
+class TestAddressXml:
+    def _book(self):
+        book = AddressBook(owner="alice")
+        book.add(UserAddress("MSN IM", ChannelType.IM, "alice@im"))
+        book.add(
+            UserAddress("Cell SMS", ChannelType.SMS, "+14255550100", enabled=False)
+        )
+        book.add(UserAddress("Work email", ChannelType.EMAIL, "alice@work"))
+        return book
+
+    def test_roundtrip_preserves_everything(self):
+        book = self._book()
+        restored = address_book_from_xml(address_book_to_xml(book))
+        assert restored.owner == "alice"
+        assert len(restored) == 3
+        assert restored.get("Cell SMS").enabled is False
+        assert restored.get("Cell SMS").channel is ChannelType.SMS
+        assert restored.get("Work email").address == "alice@work"
+
+    def test_type_tags_match_paper(self):
+        xml = address_book_to_xml(self._book())
+        for tag in ('type="IM"', 'type="SMS"', 'type="EM"'):
+            assert tag in xml
+
+    def test_parse_rejects_unknown_type(self):
+        with pytest.raises(ConfigurationError):
+            address_book_from_xml(
+                '<userAddresses owner="a">'
+                '<address type="FAX" name="f">123</address></userAddresses>'
+            )
+
+    def test_parse_rejects_missing_owner(self):
+        with pytest.raises(ConfigurationError):
+            address_book_from_xml("<userAddresses/>")
+
+    def test_parse_rejects_missing_attrs(self):
+        with pytest.raises(ConfigurationError):
+            address_book_from_xml(
+                '<userAddresses owner="a"><address type="IM">x</address>'
+                "</userAddresses>"
+            )
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ConfigurationError):
+            address_book_from_xml("<userAddresses owner='a'")
+
+    def test_parse_rejects_wrong_child(self):
+        with pytest.raises(ConfigurationError):
+            address_book_from_xml(
+                '<userAddresses owner="a"><phone>1</phone></userAddresses>'
+            )

@@ -1,0 +1,269 @@
+"""Unit tests for the monkey thread and the Communication Managers."""
+
+import pytest
+
+from repro.clients import EmailClient, IMClient, Screen
+from repro.core import EmailManager, IMManager, MonkeyThread, SMSManager
+from repro.errors import ChannelError, StalePointerError
+from repro.net import EmailService, IMService, LatencyModel, SMSGateway
+from repro.sim import Environment, RngRegistry
+
+FAST = LatencyModel(median=0.3, sigma=0.0, low=0.0, high=10.0)
+
+
+@pytest.fixture()
+def rig():
+    env = Environment()
+    rngs = RngRegistry(seed=5)
+    screen = Screen(env)
+    im = IMService(env, rngs.stream("im"), latency=FAST)
+    email = EmailService(env, rngs.stream("email"), latency=FAST, loss_probability=0)
+    sms = SMSGateway(env, rngs.stream("sms"), latency=FAST, loss_probability=0)
+    im.register_account("mab@im")
+    im.register_account("peer@im")
+    return env, screen, im, email, sms
+
+
+class TestMonkeyThread:
+    def test_clicks_known_caption(self, rig):
+        env, screen, im, email, sms = rig
+        monkey = MonkeyThread(env, screen, client_rules={"Oops": "OK"})
+        screen.pop_dialog("Oops", ("OK", "Cancel"))
+        assert monkey.scan_once() == 1
+        assert screen.open_dialogs() == []
+        assert monkey.clicks[0].caption == "Oops"
+
+    def test_unknown_caption_left_on_screen(self, rig):
+        env, screen, im, email, sms = rig
+        monkey = MonkeyThread(env, screen)
+        screen.pop_dialog("Never seen before", ("OK",))
+        assert monkey.scan_once() == 0
+        assert len(screen.open_dialogs()) == 1
+        assert "Never seen before" in monkey.unknown_captions
+
+    def test_system_generic_rules_present(self, rig):
+        env, screen, im, email, sms = rig
+        monkey = MonkeyThread(env, screen)
+        screen.pop_dialog("Low disk space", ("OK",))
+        assert monkey.scan_once() == 1
+
+    def test_registered_rule_fixes_unknown_dialog(self, rig):
+        # The paper's fix for the two unrecovered failures.
+        env, screen, im, email, sms = rig
+        monkey = MonkeyThread(env, screen)
+        screen.pop_dialog("Weird new dialog", ("Continue",))
+        assert monkey.scan_once() == 0
+        monkey.register_rule("Weird new dialog", "Continue")
+        assert monkey.scan_once() == 1
+
+    def test_rule_with_wrong_button_is_useless(self, rig):
+        env, screen, im, email, sms = rig
+        monkey = MonkeyThread(env, screen, client_rules={"Q": "Yes"})
+        screen.pop_dialog("Q", ("No", "Maybe"))
+        assert monkey.scan_once() == 0
+        assert "Q" in monkey.unknown_captions
+
+    def test_periodic_scanning_loop(self, rig):
+        env, screen, im, email, sms = rig
+        monkey = MonkeyThread(env, screen, interval=20.0)
+        monkey.start()
+
+        def scenario(env):
+            yield env.timeout(5.0)
+            screen.pop_dialog("Low disk space", ("OK",))
+            yield env.timeout(30.0)
+
+        done = env.process(scenario(env))
+        env.run(until=done)
+        # Popped at t=5, first scan after that is t=20.
+        assert monkey.clicks[0].at == 20.0
+
+    def test_stop_halts_scanning(self, rig):
+        env, screen, im, email, sms = rig
+        monkey = MonkeyThread(env, screen, interval=20.0)
+        monkey.start()
+        monkey.stop()
+        screen.pop_dialog("Low disk space", ("OK",))
+        env.run(until=100.0)
+        assert monkey.clicks == []
+
+    def test_invalid_params(self, rig):
+        env, screen, im, email, sms = rig
+        with pytest.raises(ValueError):
+            MonkeyThread(env, screen, interval=0.0)
+        monkey = MonkeyThread(env, screen)
+        with pytest.raises(ValueError):
+            monkey.register_rule("", "OK")
+
+
+class TestIMManager:
+    def _manager(self, rig):
+        env, screen, im, email, sms = rig
+        client = IMClient(env, screen, im, "mab@im")
+        manager = IMManager(env, client)
+        manager.ensure_started()
+        return env, im, client, manager
+
+    def test_ensure_started_logs_on(self, rig):
+        env, im, client, manager = self._manager(rig)
+        assert im.presence.is_online("mab@im")
+        assert manager.sanity_check().healthy
+
+    def test_sanity_relogon_after_forced_logout(self, rig):
+        env, im, client, manager = self._manager(rig)
+        im.force_logout("mab@im")
+        report = manager.sanity_check()
+        assert report.healthy
+        assert "re-logon" in report.repairs
+        assert manager.stats.relogons == 1
+        assert im.presence.is_online("mab@im")
+
+    def test_sanity_restarts_hung_client(self, rig):
+        env, im, client, manager = self._manager(rig)
+        client.hang()
+        report = manager.sanity_check()
+        assert "restart" in report.repairs
+        assert manager.stats.restarts == 1
+        assert not client.hung
+        assert im.presence.is_online("mab@im")
+
+    def test_sanity_restarts_dead_client(self, rig):
+        env, im, client, manager = self._manager(rig)
+        client.terminate()
+        report = manager.sanity_check()
+        assert "restart" in report.repairs
+        assert im.presence.is_online("mab@im")
+
+    def test_sanity_reports_dialog_blocked_without_restart(self, rig):
+        env, im, client, manager = self._manager(rig)
+        client.pop_dialog("Connection lost", ("OK",))
+        report = manager.sanity_check()
+        assert report.dialog_blocked
+        assert not report.healthy
+        assert manager.stats.restarts == 0
+        # The monkey knows this caption; after its click the next check is OK.
+        assert manager.monkey.scan_once() == 1
+        assert manager.sanity_check().healthy
+
+    def test_sanity_reports_service_down(self, rig):
+        env, im, client, manager = self._manager(rig)
+        im.set_available(False)
+        report = manager.sanity_check()
+        assert report.service_down
+        assert not report.healthy
+        # After the outage, a later sanity pass restores login.
+        im.set_available(True)
+        report = manager.sanity_check()
+        assert report.healthy
+        assert im.presence.is_online("mab@im")
+
+    def test_restart_during_outage_does_not_crash(self, rig):
+        env, im, client, manager = self._manager(rig)
+        im.set_available(False)
+        manager.restart()
+        assert client.running
+        assert not im.presence.is_online("mab@im")
+
+    def test_submit_roundtrip(self, rig):
+        env, im, client, manager = self._manager(rig)
+        im.login("peer@im")
+        message = manager.submit("peer@im", "s", "hello", correlation="c1")
+        assert message.seq == 1
+        assert manager.stats.submissions == 1
+        env.run()
+
+    def test_submit_failure_counted(self, rig):
+        env, im, client, manager = self._manager(rig)
+        with pytest.raises(ChannelError):
+            manager.submit("peer@im", "s", "offline recipient")
+        assert manager.stats.submission_failures == 1
+
+    def test_handle_property_requires_start(self, rig):
+        env, screen, im, email, sms = rig
+        manager = IMManager(env, IMClient(env, screen, im, "mab@im"))
+        with pytest.raises(StalePointerError):
+            _ = manager.handle
+
+    def test_is_recipient_online(self, rig):
+        env, im, client, manager = self._manager(rig)
+        assert manager.is_recipient_online("peer@im") is False
+        im.login("peer@im")
+        assert manager.is_recipient_online("peer@im") is True
+
+    def test_shutdown_orderly(self, rig):
+        env, im, client, manager = self._manager(rig)
+        manager.shutdown()
+        assert not client.running
+        assert not im.presence.is_online("mab@im")
+
+    def test_ensure_started_attaches_to_running_client(self, rig):
+        # A fresh MAB incarnation attaching to a client left running by the
+        # previous incarnation must refresh pointers via restart.
+        env, im, client, manager = self._manager(rig)
+        manager2 = IMManager(env, client)
+        manager2.ensure_started()
+        assert manager2.stats.restarts == 1
+        assert im.presence.is_online("mab@im")
+
+
+class TestEmailManager:
+    def _manager(self, rig):
+        env, screen, im, email, sms = rig
+        client = EmailClient(env, screen, email, "mab@mail")
+        manager = EmailManager(env, client)
+        manager.ensure_started()
+        return env, email, client, manager
+
+    def test_healthy_check(self, rig):
+        env, email, client, manager = self._manager(rig)
+        assert manager.sanity_check().healthy
+
+    def test_hang_restart(self, rig):
+        env, email, client, manager = self._manager(rig)
+        client.hang()
+        report = manager.sanity_check()
+        assert "restart" in report.repairs
+        assert manager.sanity_check().healthy
+
+    def test_service_down_reported(self, rig):
+        env, email, client, manager = self._manager(rig)
+        email.set_available(False)
+        report = manager.sanity_check()
+        assert report.service_down
+
+    def test_dialog_blocked(self, rig):
+        env, email, client, manager = self._manager(rig)
+        client.pop_dialog("Mail delivery problem", ("OK",))
+        report = manager.sanity_check()
+        assert report.dialog_blocked
+        assert manager.monkey.scan_once() == 1
+
+    def test_submit(self, rig):
+        env, email, client, manager = self._manager(rig)
+        manager.submit("user@mail", "subject", "body", importance="high")
+        env.run()
+        assert email.mailbox("user@mail").unread_count == 1
+
+
+class TestSMSManager:
+    def test_submit_folds_subject_into_body(self, rig):
+        env, screen, im, email, sms = rig
+        manager = SMSManager(env, sms)
+        message = manager.submit("+1", "ALERT", "water rising")
+        assert message.body == "ALERT: water rising"
+        env.run()
+
+    def test_sanity_reflects_gateway(self, rig):
+        env, screen, im, email, sms = rig
+        manager = SMSManager(env, sms)
+        assert manager.sanity_check().healthy
+        sms.set_available(False)
+        assert manager.sanity_check().service_down
+
+    def test_submit_failure_counted(self, rig):
+        env, screen, im, email, sms = rig
+        manager = SMSManager(env, sms)
+        sms.set_available(False)
+        with pytest.raises(ChannelError):
+            manager.submit("+1", "", "x")
+        assert manager.stats.submission_failures == 1

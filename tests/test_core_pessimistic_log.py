@@ -1,0 +1,114 @@
+"""Unit + property tests for the pessimistic log."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import PessimisticLog
+from repro.sim import Environment
+
+
+def run_append(env, log, alert_id, payload="p"):
+    proc = env.process(log.append(alert_id, payload))
+    env.run(until=proc)
+    return proc.value
+
+
+class TestPessimisticLog:
+    def test_append_takes_write_latency(self):
+        env = Environment()
+        log = PessimisticLog(env, write_latency=0.5)
+        entry = run_append(env, log, "a1")
+        assert env.now == 0.5
+        assert entry.received_at == 0.5
+        assert not entry.processed
+
+    def test_zero_latency_append(self):
+        env = Environment()
+        log = PessimisticLog(env, write_latency=0.0)
+        run_append(env, log, "a1")
+        assert env.now == 0.0
+
+    def test_negative_latency_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            PessimisticLog(env, write_latency=-1.0)
+
+    def test_unprocessed_scan_ordering(self):
+        env = Environment()
+        log = PessimisticLog(env, write_latency=0.1)
+        e1 = run_append(env, log, "a1")
+        e2 = run_append(env, log, "a2")
+        e3 = run_append(env, log, "a3")
+        log.mark_processed(e2.entry_id)
+        assert [e.alert_id for e in log.unprocessed()] == ["a1", "a3"]
+        log.mark_processed(e1.entry_id)
+        log.mark_processed(e3.entry_id)
+        assert log.unprocessed() == []
+
+    def test_mark_processed_idempotent(self):
+        env = Environment()
+        log = PessimisticLog(env, write_latency=0.0)
+        entry = run_append(env, log, "a1")
+        log.mark_processed(entry.entry_id)
+        first = entry.processed_at
+        log.mark_processed(entry.entry_id)
+        assert entry.processed_at == first
+
+    def test_has_seen_and_lookup(self):
+        env = Environment()
+        log = PessimisticLog(env, write_latency=0.0)
+        run_append(env, log, "a1")
+        assert log.has_seen("a1")
+        assert not log.has_seen("a2")
+        assert log.entry_for_alert("a1").alert_id == "a1"
+        assert log.entry_for_alert("a2") is None
+        assert len(log) == 1
+
+    def test_file_backing_roundtrip(self, tmp_path):
+        path = tmp_path / "mab.log"
+        env = Environment()
+        log = PessimisticLog(env, write_latency=0.0, path=path)
+        e1 = run_append(env, log, "a1", "payload-1")
+        run_append(env, log, "a2", "payload-2")
+        log.mark_processed(e1.entry_id)
+
+        # Simulated reboot: fresh environment, reload from disk.
+        env2 = Environment()
+        restored = PessimisticLog.load(env2, path)
+        assert len(restored) == 2
+        assert [e.alert_id for e in restored.unprocessed()] == ["a2"]
+        assert restored.entry_for_alert("a2").payload == "payload-2"
+        # Entry ids keep counting past the highest on disk.
+        e3 = run_append(env2, restored, "a3")
+        assert e3.entry_id == 3
+
+    def test_load_missing_file_gives_empty_log(self, tmp_path):
+        env = Environment()
+        log = PessimisticLog.load(env, tmp_path / "nope.log")
+        assert len(log) == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=49), st.booleans()),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_no_ack_no_loss_property(self, operations):
+        """Everything appended and not marked processed is recoverable."""
+        env = Environment()
+        log = PessimisticLog(env, write_latency=0.0)
+        entries = {}
+        processed = set()
+        for index, (key, mark) in enumerate(operations):
+            alert_id = f"alert-{key}-{index}"
+            entry = run_append(env, log, alert_id)
+            entries[alert_id] = entry
+            if mark:
+                log.mark_processed(entry.entry_id)
+                processed.add(alert_id)
+        recovered = {e.alert_id for e in log.unprocessed()}
+        assert recovered == set(entries) - processed
+        # Recovery order is append order.
+        ids = [e.entry_id for e in log.unprocessed()]
+        assert ids == sorted(ids)

@@ -1,0 +1,231 @@
+"""Unit tests for the MDC watchdog and the Host machine model."""
+
+import pytest
+
+from repro.core.host import Host
+from repro.core.watchdog import (
+    MasterDaemonController,
+    RestartReason,
+)
+from repro.sim import Environment, MINUTE
+
+
+class FakeBuddy:
+    """Minimal Watchable used to test the MDC protocol in isolation."""
+
+    def __init__(self, env, behaviour="healthy"):
+        self.env = env
+        self.behaviour = behaviour
+        self.process = None
+        self.started = 0
+        self.terminated = []
+
+    def start(self):
+        self.started += 1
+        self.process = self.env.process(self._run(), name="fake-buddy")
+        return self.process
+
+    def _run(self):
+        from repro.errors import Interrupt
+
+        try:
+            if self.behaviour == "dies-quickly":
+                yield self.env.timeout(10.0)
+                return
+            yield self.env.timeout(10**9)
+        except Interrupt:
+            return  # killed — like the real buddy, exit cleanly
+
+    def attach_mdc(self, request, reply):
+        def client(env):
+            yield request
+            if self.behaviour != "hung":
+                reply.succeed()
+
+        self.env.process(client(self.env), name="fake-mdc-client")
+
+    def force_terminate(self, cause):
+        self.terminated.append(cause)
+        if self.process is not None and self.process.is_alive:
+            self.process.interrupt(cause)
+
+
+def make_mdc(env, behaviours, **kwargs):
+    """MDC whose factory pops behaviours (last one repeats forever)."""
+    host = Host(env, boot_delay=30.0)
+    queue = list(behaviours)
+    made = []
+
+    def factory():
+        behaviour = queue.pop(0) if len(queue) > 1 else queue[0]
+        buddy = FakeBuddy(env, behaviour)
+        made.append(buddy)
+        return buddy
+
+    mdc = MasterDaemonController(
+        env, host, factory, check_interval=60.0, reply_timeout=5.0, **kwargs
+    )
+    return mdc, host, made
+
+
+class TestWatchdog:
+    def test_start_launches_buddy(self):
+        env = Environment()
+        mdc, host, made = make_mdc(env, ["healthy"])
+        mdc.start()
+        env.run(until=10 * MINUTE)
+        assert len(made) == 1
+        assert made[0].started == 1
+        assert mdc.restarts == []
+
+    def test_healthy_buddy_probed_but_never_restarted(self):
+        env = Environment()
+        mdc, host, made = make_mdc(env, ["healthy"])
+        mdc.start()
+        env.run(until=30 * MINUTE)
+        assert mdc.restarts == []
+
+    def test_termination_detected_and_restarted(self):
+        env = Environment()
+        mdc, host, made = make_mdc(env, ["dies-quickly", "healthy"])
+        mdc.start()
+        env.run(until=10 * MINUTE)
+        assert any(r.reason is RestartReason.TERMINATION for r in mdc.restarts)
+        assert len(made) >= 2
+        assert made[-1].process.is_alive
+
+    def test_hung_buddy_restarted_on_probe_timeout(self):
+        env = Environment()
+        mdc, host, made = make_mdc(env, ["hung", "healthy"])
+        mdc.start()
+        env.run(until=10 * MINUTE)
+        assert any(
+            r.reason is RestartReason.PROBE_TIMEOUT for r in mdc.restarts
+        )
+        # The hung incarnation was killed before relaunch.
+        assert made[0].terminated
+
+    def test_reboot_after_max_failed_restarts(self):
+        env = Environment()
+        mdc, host, made = make_mdc(
+            env, ["dies-quickly"], max_failed_restarts=2,
+            stability_window=10 * MINUTE,
+        )
+        mdc.start()
+        env.run(until=30 * MINUTE)
+        assert mdc.reboots_requested >= 1
+        assert host.reboots >= 1
+        # After boot, the MDC came back and launched a fresh buddy.
+        assert made[-1].started == 1
+
+    def test_stability_window_resets_failure_count(self):
+        env = Environment()
+        # healthy buddy; inject two manual kills far apart.
+        mdc, host, made = make_mdc(
+            env, ["healthy"], max_failed_restarts=2,
+            stability_window=5 * MINUTE,
+        )
+        mdc.start()
+
+        def killer(env):
+            for _ in range(4):
+                yield env.timeout(20 * MINUTE)  # > stability window apart
+                buddy = mdc.buddy
+                if buddy is not None and buddy.process.is_alive:
+                    buddy.process.interrupt("test kill")
+
+        env.process(killer(env))
+        env.run(until=2 * 3600)
+        # Four restarts but never a reboot: stability resets the counter.
+        assert len(mdc.restarts) == 4
+        assert mdc.reboots_requested == 0
+
+    def test_host_down_stops_monitoring(self):
+        env = Environment()
+        mdc, host, made = make_mdc(env, ["healthy"])
+        mdc.start()
+
+        def outage(env):
+            yield env.timeout(5 * MINUTE)
+            host.power_failure(10 * MINUTE)
+
+        env.process(outage(env))
+        env.run(until=12 * MINUTE)
+        assert not made[0].process.is_alive  # killed by host-down hook
+        env.run(until=40 * MINUTE)
+        # Rebooted: the MDC relaunched a buddy.
+        assert made[-1].process.is_alive
+
+    def test_start_idempotent(self):
+        env = Environment()
+        mdc, host, made = make_mdc(env, ["healthy"])
+        mdc.start()
+        mdc.start()
+        env.run(until=5 * MINUTE)
+        assert len(made) == 1
+
+
+class TestHost:
+    def test_defaults_up(self):
+        env = Environment()
+        host = Host(env)
+        assert host.up and host.powered and host.booted
+
+    def test_power_failure_without_ups(self):
+        env = Environment()
+        host = Host(env, boot_delay=60.0)
+        down, up = [], []
+        host.on_shutdown(lambda: down.append(env.now))
+        host.on_boot(lambda: up.append(env.now))
+
+        def scenario(env):
+            yield env.timeout(100.0)
+            assert host.power_failure(300.0) is True
+            assert not host.up
+
+        env.process(scenario(env))
+        env.run(until=1000.0)
+        assert down == [100.0]
+        assert up == [460.0]  # restore at 400 + 60 boot
+        assert host.up
+
+    def test_ups_rides_out_outage(self):
+        env = Environment()
+        host = Host(env, has_ups=True)
+        down = []
+        host.on_shutdown(lambda: down.append(env.now))
+        assert host.power_failure(300.0) is False
+        assert host.up
+        assert down == []
+        assert host.power_events[0].survived_on_ups
+
+    def test_reboot_cycle(self):
+        env = Environment()
+        host = Host(env, boot_delay=30.0)
+        events = []
+        host.on_shutdown(lambda: events.append(("down", env.now)))
+        host.on_boot(lambda: events.append(("up", env.now)))
+        host.reboot()
+        assert not host.up
+        env.run(until=100.0)
+        assert events == [("down", 0.0), ("up", 30.0)]
+        assert host.reboots == 1
+
+    def test_reboot_while_down_ignored(self):
+        env = Environment()
+        host = Host(env)
+        host.reboot()
+        host.reboot()
+        assert host.reboots == 1
+
+    def test_invalid_outage_duration(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Host(env).power_failure(0.0)
+
+    def test_going_down_clears_screen(self):
+        env = Environment()
+        host = Host(env)
+        host.screen.pop_dialog("Stuck forever", ("OK",))
+        host.reboot()
+        assert host.screen.open_dialogs() == []

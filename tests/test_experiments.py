@@ -1,0 +1,115 @@
+"""Scaled-down runs of every experiment harness (shape checks).
+
+The benchmarks run the full-size versions; these tests keep the harness
+code covered in the regular suite with small parameters.
+"""
+
+import pytest
+
+from repro.experiments import (
+    HAFeatures,
+    run_ack_roundtrip,
+    run_aladdin_disarm,
+    run_comparison,
+    run_fault_month,
+    run_im_one_way,
+    run_portal_log,
+    run_proxy_routing,
+    run_wish_location,
+)
+from repro.experiments.fault_tolerance import run_logging_window
+from repro.sim.clock import DAY, MINUTE
+from repro.workloads.faultload import FaultloadSpec
+
+
+class TestLatencyHarnesses:
+    def test_e1_small(self):
+        summary = run_im_one_way(n_alerts=40, seed=5)
+        assert summary.count == 40
+        assert summary.median < 1.0
+
+    def test_e2_small(self):
+        summary = run_ack_roundtrip(n_alerts=40, seed=5)
+        assert summary.count == 40
+        assert 1.0 < summary.mean < 2.5
+
+    def test_e3_small(self):
+        summary = run_proxy_routing(n_changes=20, seed=5)
+        assert summary.count == 20
+        assert 1.5 < summary.mean < 4.0
+
+    def test_e4_small(self):
+        result = run_aladdin_disarm(n_presses=10, seed=5)
+        assert result.receipts == 10
+        assert 6.0 < result.end_to_end.mean < 18.0
+        assert result.press_to_gateway_alert.mean > result.simba_delivery.mean
+
+    def test_e5_small(self):
+        result = run_wish_location(n_moves=10, seed=5)
+        assert result.alerts >= 8
+        assert 2.5 < result.report_to_im.mean < 8.0
+        assert result.mean_confidence > 40.0
+
+
+SMALL_SPEC = FaultloadSpec(
+    duration=4 * DAY,
+    im_outages=2,
+    client_logouts=3,
+    client_hangs=2,
+    mab_faults=6,
+    known_dialogs=2,
+    unknown_dialogs=1,
+    power_outages=1,
+    memory_leaks=1,
+)
+
+
+class TestFaultHarness:
+    def test_e6_small_week(self):
+        result = run_fault_month(seed=3, spec=SMALL_SPEC,
+                                 alert_period=15 * MINUTE)
+        assert result.delivery_ratio > 0.9
+        assert result.client_restarts == 2
+        assert result.unrecovered == 2  # 1 power + 1 unknown dialog
+        assert result.user_latency.median < 10.0
+
+    def test_e9_watchdog_ablation_collapses(self):
+        result = run_fault_month(
+            seed=3,
+            spec=SMALL_SPEC,
+            alert_period=15 * MINUTE,
+            features=HAFeatures(watchdog=False),
+        )
+        full = run_fault_month(seed=3, spec=SMALL_SPEC,
+                               alert_period=15 * MINUTE)
+        assert result.delivery_ratio < full.delivery_ratio
+
+    def test_logging_window_guarantee(self):
+        logged = run_logging_window(seed=2, n_alerts=6, logging_enabled=True)
+        unlogged = run_logging_window(seed=2, n_alerts=6,
+                                      logging_enabled=False)
+        assert logged.acked_but_lost == 0
+        assert logged.recovery_replays > 0
+        assert unlogged.recovery_replays == 0
+        assert unlogged.acked_but_lost >= 1
+
+
+class TestScaleAndComparison:
+    def test_e7_replay_only(self):
+        result = run_portal_log(
+            seed=2, full_scale_days=1, replay_users=4,
+            replay_alerts_target=60,
+        )
+        assert 700_000 < result.mean_alerts_per_day < 860_000
+        assert result.replay_delivery_ratio > 0.9
+        assert result.replay_latency.median < 10.0
+
+    def test_e8_small(self):
+        result = run_comparison(n_alerts=60, seed=2)
+        simba = result.by_name("simba")
+        redundant = result.by_name("redundant")
+        email = result.by_name("email-only")
+        assert simba.messages_per_alert < 2.0
+        assert redundant.messages_per_alert > 3.0
+        assert simba.latency.median < email.latency.median
+        assert simba.critical_on_time_ratio >= redundant.critical_on_time_ratio

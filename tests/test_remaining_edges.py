@@ -1,0 +1,105 @@
+"""Edge-branch coverage: small behaviors not exercised elsewhere."""
+
+import pytest
+
+from repro.clients import IMClient, Screen
+from repro.core import IMManager, MonkeyThread, SMSManager
+from repro.core.classifier import ExtractionRule
+from repro.errors import AlertRejected, SimulationError
+from repro.net import IMService, LatencyModel, SMSGateway
+from repro.sim import Environment, RngRegistry
+
+FAST = LatencyModel(median=0.2, sigma=0.0, low=0.0, high=5.0)
+
+
+def test_run_until_event_with_exhausted_queue_raises():
+    env = Environment()
+    never = env.event()
+
+    def proc(env):
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError, match="exhausted the queue"):
+        env.run(until=never)
+
+
+def test_monkey_rules_snapshot_is_a_copy():
+    env = Environment()
+    monkey = MonkeyThread(env, Screen(env))
+    rules = monkey.rules()
+    rules["Injected"] = "OK"
+    assert "Injected" not in monkey.rules()
+
+
+def test_is_recipient_online_false_when_service_down():
+    env = Environment()
+    im = IMService(env, RngRegistry(seed=1).stream("im"), latency=FAST)
+    im.register_account("mab@im")
+    im.register_account("peer@im")
+    manager = IMManager(env, IMClient(env, Screen(env), im, "mab@im"))
+    manager.ensure_started()
+    im.login("peer@im")
+    assert manager.is_recipient_online("peer@im") is True
+    im.set_available(False)
+    assert manager.is_recipient_online("peer@im") is False
+
+
+def test_sms_manager_noop_lifecycle():
+    env = Environment()
+    gateway = SMSGateway(env, RngRegistry(seed=1).stream("sms"), latency=FAST)
+    manager = SMSManager(env, gateway)
+    manager.ensure_started()  # must not raise
+    manager.shutdown()        # must not raise
+    assert manager.sanity_check().healthy
+
+
+def test_extraction_rule_suffix_missing_rejected():
+    from repro.core import Alert
+
+    rule = ExtractionRule(source="s", field="subject", prefix="[", suffix="]")
+    alert = Alert(source="s", keyword="k", subject="[Stocks no closer",
+                  body="b", created_at=0.0)
+    with pytest.raises(AlertRejected, match="suffix"):
+        rule.extract(alert, sender="")
+
+
+def test_extraction_rule_no_decoration_takes_whole_field():
+    from repro.core import Alert
+
+    rule = ExtractionRule(source="s", field="subject")
+    alert = Alert(source="s", keyword="k", subject="  Weather  ",
+                  body="b", created_at=0.0)
+    assert rule.extract(alert, sender="") == "Weather"
+
+
+def test_im_message_repr_and_session_repr():
+    env = Environment()
+    im = IMService(env, RngRegistry(seed=1).stream("im"), latency=FAST)
+    im.register_account("a@im")
+    session = im.login("a@im")
+    assert "a@im" in repr(session)
+    session.logout()
+    assert "dead" in repr(session)
+
+
+def test_automation_handle_repr_shows_staleness():
+    env = Environment()
+    im = IMService(env, RngRegistry(seed=1).stream("im"), latency=FAST)
+    im.register_account("a@im")
+    client = IMClient(env, Screen(env), im, "a@im")
+    handle = client.start()
+    assert "valid" in repr(handle)
+    client.terminate()
+    assert "STALE" in repr(handle)
+
+
+def test_peek_and_process_repr():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5.0)
+
+    p = env.process(proc(env), name="named-proc")
+    assert "named-proc" in repr(p)
+    assert env.peek() == 0.0  # the process-init event is queued at t=0

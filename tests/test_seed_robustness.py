@@ -1,0 +1,35 @@
+"""Seed robustness: the benches' shape assertions must not be seed-lucky.
+
+Runs the cheap latency experiments across several seeds and checks that the
+paper-shape bounds hold for each — if these start flaking, the calibrated
+latency models (not a bench threshold) need attention.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_ack_roundtrip,
+    run_im_one_way,
+    run_proxy_routing,
+)
+
+SEEDS = (1, 7, 13, 42)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_e1_shape_across_seeds(seed):
+    summary = run_im_one_way(n_alerts=80, seed=seed)
+    assert summary.median < 1.0, f"seed {seed}: median {summary.median}"
+    assert summary.p90 < 1.1, f"seed {seed}: p90 {summary.p90}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_e2_shape_across_seeds(seed):
+    summary = run_ack_roundtrip(n_alerts=80, seed=seed)
+    assert 1.0 < summary.mean < 2.5, f"seed {seed}: mean {summary.mean}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_e3_shape_across_seeds(seed):
+    summary = run_proxy_routing(n_changes=30, seed=seed)
+    assert 1.5 < summary.mean < 4.0, f"seed {seed}: mean {summary.mean}"

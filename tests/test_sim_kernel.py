@@ -1,0 +1,481 @@
+"""Unit tests for the discrete-event kernel (Environment, Event, Process)."""
+
+import pytest
+
+from repro.errors import EventAlreadyTriggered, Interrupt, SimulationError
+from repro.sim import Environment
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_initial_time():
+    env = Environment(initial_time=100.0)
+    assert env.now == 100.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 5.0
+    assert env.now == 5.0
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_run_until_time_stops_exactly():
+    env = Environment()
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(ticker(env))
+    env.run(until=10.5)
+    assert env.now == 10.5
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=50.0)
+    with pytest.raises(ValueError):
+        env.run(until=10.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3.0)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+    assert env.now == 3.0
+
+
+def test_run_until_event_raises_process_exception():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    p = env.process(proc(env))
+    with pytest.raises(ValueError, match="boom"):
+        env.run(until=p)
+
+
+def test_run_until_already_processed_event():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        return 42
+
+    p = env.process(proc(env))
+    env.run()
+    assert env.run(until=p) == 42
+
+
+def test_unwaited_process_failure_crashes_run():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("unobserved")
+
+    env.process(proc(env))
+    with pytest.raises(RuntimeError, match="unobserved"):
+        env.run()
+
+
+def test_same_time_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_succeed_wakes_waiter_with_value():
+    env = Environment()
+    evt = env.event()
+    results = []
+
+    def waiter(env):
+        value = yield evt
+        results.append(value)
+
+    def firer(env):
+        yield env.timeout(2.0)
+        evt.succeed("payload")
+
+    env.process(waiter(env))
+    env.process(firer(env))
+    env.run()
+    assert results == ["payload"]
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    evt = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield evt
+        except KeyError as exc:
+            caught.append(exc)
+
+    def firer(env):
+        yield env.timeout(1.0)
+        evt.fail(KeyError("nope"))
+
+    env.process(waiter(env))
+    env.process(firer(env))
+    env.run()
+    assert len(caught) == 1
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    evt = env.event()
+    evt.succeed(1)
+    with pytest.raises(EventAlreadyTriggered):
+        evt.succeed(2)
+    with pytest.raises(EventAlreadyTriggered):
+        evt.fail(ValueError())
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    evt = env.event()
+    with pytest.raises(AttributeError):
+        _ = evt.value
+    with pytest.raises(AttributeError):
+        _ = evt.ok
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def proc(env):
+        yield "not an event"
+
+    p = env.process(proc(env))
+    with pytest.raises(TypeError, match="expected an Event"):
+        env.run(until=p)
+
+
+def test_yield_already_processed_event_resumes():
+    env = Environment()
+    evt = env.event()
+    evt.succeed("early")
+    got = []
+
+    def late_waiter(env):
+        yield env.timeout(5.0)
+        value = yield evt
+        got.append(value)
+
+    env.process(late_waiter(env))
+    env.run()
+    assert got == ["early"]
+
+
+def test_any_of_triggers_on_first():
+    env = Environment()
+
+    def proc(env):
+        fast = env.timeout(1.0, value="fast")
+        slow = env.timeout(10.0, value="slow")
+        result = yield env.any_of([fast, slow])
+        return list(result.values())
+
+    p = env.process(proc(env))
+    env.run(until=p)
+    assert p.value == ["fast"]
+    assert env.now == 1.0
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def proc(env):
+        a = env.timeout(1.0, value="a")
+        b = env.timeout(3.0, value="b")
+        result = yield env.all_of([a, b])
+        return sorted(result.values())
+
+    p = env.process(proc(env))
+    env.run(until=p)
+    assert p.value == ["a", "b"]
+    assert env.now == 3.0
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Environment()
+
+    def proc(env):
+        result = yield env.all_of([])
+        return result
+
+    p = env.process(proc(env))
+    env.run(until=p)
+    assert p.value == {}
+
+
+def test_condition_fails_when_child_fails():
+    env = Environment()
+    bad = env.event()
+
+    def proc(env):
+        slow = env.timeout(10.0)
+        yield env.all_of([bad, slow])
+
+    def firer(env):
+        yield env.timeout(1.0)
+        bad.fail(ValueError("child died"))
+
+    p = env.process(proc(env))
+    env.process(firer(env))
+    with pytest.raises(ValueError, match="child died"):
+        env.run(until=p)
+
+
+def test_interrupt_raises_in_target():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause, env.now))
+
+    def killer(env, target):
+        yield env.timeout(2.0)
+        target.interrupt("killed by test")
+
+    target = env.process(victim(env))
+    env.process(killer(env, target))
+    env.run()
+    assert log == [("interrupted", "killed by test", 2.0)]
+
+
+def test_interrupt_finished_process_is_error():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    trace = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            trace.append(("caught", env.now))
+        yield env.timeout(1.0)
+        trace.append(("resumed", env.now))
+
+    def killer(env, target):
+        yield env.timeout(5.0)
+        target.interrupt()
+
+    target = env.process(victim(env))
+    env.process(killer(env, target))
+    env.run()
+    # The abandoned 100 s timeout still drains the queue at t=100, but the
+    # victim resumed at t=6 — interruption cancelled the wait, not the event.
+    assert trace == [("caught", 5.0), ("resumed", 6.0)]
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_step_with_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+
+
+def test_nested_process_wait():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(3.0)
+        return "child result"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return f"parent saw {result}"
+
+    p = env.process(parent(env))
+    env.run(until=p)
+    assert p.value == "parent saw child result"
+
+
+def test_schedule_negative_delay_rejected():
+    env = Environment()
+    evt = env.event()
+    with pytest.raises(ValueError):
+        env.schedule(evt, delay=-1.0)
+
+
+def test_determinism_two_identical_runs():
+    def build_and_run():
+        env = Environment()
+        trace = []
+
+        def worker(env, name, period):
+            while env.now < 50.0:
+                yield env.timeout(period)
+                trace.append((round(env.now, 6), name))
+
+        env.process(worker(env, "x", 3.0))
+        env.process(worker(env, "y", 7.0))
+        env.run(until=60.0)
+        return trace
+
+    assert build_and_run() == build_and_run()
+
+
+def test_condition_built_on_failed_but_unprocessed_child():
+    env = Environment()
+    bad = env.event()
+    bad.fail(ValueError("child failed"))
+
+    def proc(env):
+        yield env.all_of([bad, env.timeout(5.0)])
+
+    p = env.process(proc(env))
+    with pytest.raises(ValueError, match="child failed"):
+        env.run(until=p)
+
+
+def test_late_child_failure_after_anyof_triggered_is_defused():
+    env = Environment()
+    slow_failure = env.event()
+
+    def proc(env):
+        fast = env.timeout(1.0, value="fast")
+        result = yield env.any_of([fast, slow_failure])
+        return list(result.values())
+
+    def late_failer(env):
+        yield env.timeout(10.0)
+        slow_failure.fail(RuntimeError("too late to matter"))
+
+    p = env.process(proc(env))
+    env.process(late_failer(env))
+    env.run()  # must NOT raise: the late failure is defused by the condition
+    assert p.value == ["fast"]
+
+
+def test_event_cancel_is_safe_on_plain_events():
+    env = Environment()
+    evt = env.event()
+    evt.cancel()  # no-op
+    evt.succeed("still works")
+    assert evt.value == "still works"
+
+
+def test_interrupt_cause_none():
+    env = Environment()
+    caught = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            caught.append(exc.cause)
+
+    target = env.process(victim(env))
+
+    def killer(env):
+        yield env.timeout(1.0)
+        target.interrupt()
+
+    env.process(killer(env))
+    env.run()
+    assert caught == [None]
+
+
+def test_process_cannot_interrupt_itself():
+    env = Environment()
+
+    def selfish(env):
+        env.active_process.interrupt("me")
+        yield env.timeout(1.0)
+
+    p = env.process(selfish(env))
+    with pytest.raises(RuntimeError, match="cannot interrupt itself"):
+        env.run(until=p)
+
+
+def test_run_until_inf_equivalent_to_none():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        yield env.timeout(3.0)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=None)
+    assert done == [3.0]

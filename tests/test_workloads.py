@@ -1,0 +1,192 @@
+"""Unit + property tests for workload and faultload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim import DAY, MINUTE, RngRegistry
+from repro.sim.failures import FaultKind
+from repro.workloads import (
+    DiurnalProfile,
+    FaultloadSpec,
+    PortalLogGenerator,
+    generate_month_faultload,
+    paper_faultload_spec,
+    poisson_arrival_times,
+)
+from repro.workloads.faultload import MONTH
+
+
+def rng(seed=0):
+    return RngRegistry(seed=seed).stream("workload")
+
+
+class TestArrivals:
+    def test_rate_roughly_held(self):
+        times = poisson_arrival_times(rng(), rate=1.0, duration=10_000.0)
+        assert 9_000 < len(times) < 11_000
+
+    def test_times_sorted_and_in_range(self):
+        times = poisson_arrival_times(rng(), rate=0.5, duration=1000.0,
+                                      start=500.0)
+        assert times == sorted(times)
+        assert all(500.0 <= t < 1500.0 for t in times)
+
+    def test_zero_rate_or_duration(self):
+        assert poisson_arrival_times(rng(), 0.0, 100.0) == []
+        with pytest.raises(ConfigurationError):
+            poisson_arrival_times(rng(), -1.0, 100.0)
+
+    def test_reproducible(self):
+        a = poisson_arrival_times(rng(1), 1.0, 1000.0)
+        b = poisson_arrival_times(rng(1), 1.0, 1000.0)
+        assert a == b
+
+    def test_diurnal_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalProfile(multipliers=(1.0,) * 23)
+        with pytest.raises(ConfigurationError):
+            DiurnalProfile(multipliers=(-1.0,) + (1.0,) * 23)
+        with pytest.raises(ConfigurationError):
+            DiurnalProfile(multipliers=(0.0,) * 24)
+
+    def test_office_hours_profile_mean_normalized(self):
+        profile = DiurnalProfile.office_hours()
+        assert sum(profile.multipliers) / 24 == pytest.approx(1.0)
+
+    def test_diurnal_arrivals_peak_during_day(self):
+        profile = DiurnalProfile.office_hours()
+        times = poisson_arrival_times(
+            rng(2), rate=1.0, duration=10 * DAY, profile=profile
+        )
+        hours = np.array([(t % DAY) // 3600 for t in times], dtype=int)
+        night = np.isin(hours, [0, 1, 2, 3, 4]).sum()
+        day = np.isin(hours, [9, 10, 11, 14, 15]).sum()
+        assert day > 3 * night
+
+    def test_diurnal_preserves_total_rate(self):
+        profile = DiurnalProfile.office_hours()
+        times = poisson_arrival_times(
+            rng(3), rate=0.5, duration=20 * DAY, profile=profile
+        )
+        expected = 0.5 * 20 * DAY
+        assert 0.9 * expected < len(times) < 1.1 * expected
+
+
+class TestPortalLog:
+    def test_daily_aggregates_near_paper(self):
+        generator = PortalLogGenerator(rng(4))
+        records = generator.generate_day()
+        summary = PortalLogGenerator.daily_summary(records)
+        assert 740_000 < summary["alerts"] < 820_000
+        assert 210_000 < summary["distinct_users"] < 240_000
+
+    def test_scaled_generator_preserves_per_user_rate(self):
+        full = PortalLogGenerator(rng(5))
+        scaled = PortalLogGenerator(rng(5), n_users=100, alerts_per_day=309)
+        assert scaled.alerts_per_user_per_day == pytest.approx(
+            full.alerts_per_user_per_day, rel=0.05
+        )
+
+    def test_category_mix_weighted(self):
+        generator = PortalLogGenerator(rng(6), n_users=50,
+                                       alerts_per_day=5000)
+        records = generator.generate_day()
+        counts = {}
+        for record in records:
+            counts[record.category] = counts.get(record.category, 0) + 1
+        assert counts["Stocks"] > counts["Real estate"]
+
+    def test_user_skew(self):
+        generator = PortalLogGenerator(rng(7), n_users=100,
+                                       alerts_per_day=5000)
+        records = generator.generate_day()
+        counts = np.zeros(100)
+        for record in records:
+            counts[record.user_id] += 1
+        # Zipf-ish: the busiest user gets far more than the median user.
+        assert counts.max() > 5 * np.median(counts[counts > 0])
+
+    def test_day_index_offsets_times(self):
+        generator = PortalLogGenerator(rng(8), n_users=10, alerts_per_day=200)
+        day0 = generator.generate_day(0)
+        day2 = generator.generate_day(2)
+        assert all(0 <= r.at < DAY for r in day0)
+        assert all(2 * DAY <= r.at < 3 * DAY for r in day2)
+
+    def test_stream_days(self):
+        generator = PortalLogGenerator(rng(9), n_users=10, alerts_per_day=50)
+        days = list(generator.stream_days(3))
+        assert len(days) == 3
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            PortalLogGenerator(rng(), n_users=0)
+        with pytest.raises(ConfigurationError):
+            PortalLogGenerator(rng(), alerts_per_day=0)
+
+    def test_empty_summary(self):
+        summary = PortalLogGenerator.daily_summary([])
+        assert summary["alerts"] == 0.0
+        assert summary["alerts_per_user"] == 0.0
+
+
+class TestFaultload:
+    def test_paper_spec_counts(self):
+        spec = paper_faultload_spec()
+        assert spec.im_outages == 5
+        assert spec.client_logouts == 9
+        assert spec.client_hangs == 9
+        assert spec.mab_faults == 36
+        assert spec.power_outages == 1
+        assert spec.unknown_dialogs == 2
+
+    def test_generated_counts_match_spec(self):
+        spec = paper_faultload_spec()
+        faults = generate_month_faultload(rng(10), spec)
+        assert len(faults) == spec.total_faults()
+        by_kind = {}
+        for fault in faults:
+            by_kind[fault.kind] = by_kind.get(fault.kind, 0) + 1
+        assert by_kind[FaultKind.IM_SERVICE_OUTAGE] == 5
+        assert by_kind[FaultKind.CLIENT_LOGOUT] == 9
+        assert by_kind[FaultKind.CLIENT_HANG] == 9
+        assert (
+            by_kind.get(FaultKind.PROCESS_CRASH, 0)
+            + by_kind.get(FaultKind.PROCESS_HANG, 0)
+            == 36
+        )
+        assert by_kind[FaultKind.UNKNOWN_DIALOG_POPUP] == 2
+        assert by_kind[FaultKind.POWER_OUTAGE] == 1
+
+    def test_outage_durations_in_paper_range(self):
+        faults = generate_month_faultload(rng(11))
+        for fault in faults:
+            if fault.kind is FaultKind.IM_SERVICE_OUTAGE:
+                assert 4 * MINUTE <= fault.duration <= 103 * MINUTE
+
+    def test_sorted_and_within_window(self):
+        faults = generate_month_faultload(rng(12), start=DAY)
+        times = [f.at for f in faults]
+        assert times == sorted(times)
+        assert all(DAY <= t < DAY + MONTH for t in times)
+
+    def test_reproducible(self):
+        a = generate_month_faultload(rng(13))
+        b = generate_month_faultload(rng(13))
+        assert a == b
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        outages=st.integers(min_value=0, max_value=10),
+        logouts=st.integers(min_value=0, max_value=20),
+        mab=st.integers(min_value=0, max_value=50),
+    )
+    def test_arbitrary_specs_produce_valid_schedules(self, outages, logouts, mab):
+        spec = FaultloadSpec(
+            im_outages=outages, client_logouts=logouts, mab_faults=mab
+        )
+        faults = generate_month_faultload(rng(14), spec)
+        assert len(faults) == spec.total_faults()
+        assert all(f.at >= 0 and f.duration >= 0 for f in faults)
