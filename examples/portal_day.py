@@ -50,15 +50,11 @@ def main() -> None:
         for record in records:
             if record.at > env.now:
                 yield env.timeout(record.at - env.now)
-            alert = source.make_alert(
-                record.category, f"{record.category} update",
+            source.emit_to(
+                deployments[record.user_id].source_facing_book(),
+                record.category,
+                f"{record.category} update",
                 f"for user{record.user_id}",
-            )
-            source.emitted.append(alert)
-            env.process(
-                source._deliver(
-                    alert, deployments[record.user_id].source_facing_book()
-                )
             )
 
     world.env.process(replay(world.env))

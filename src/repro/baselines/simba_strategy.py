@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING
 from repro.core.alert import Alert, AlertSeverity
 from repro.core.delivery_modes import im_ack_then_email
 from repro.core.endpoint import SimbaEndpoint
+from repro.core.pipeline import SourceDeliveryPipeline
 from repro.core.user_endpoint import UserEndpoint
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -21,6 +22,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class SimbaStrategy:
     """Deliver through the full SIMBA pipeline.
+
+    The source side is the shared
+    :class:`~repro.core.pipeline.SourceDeliveryPipeline` (the same object
+    the alert sources use); the MAB side is the deployment's own
+    :class:`~repro.core.pipeline.AlertPipeline` running inside its buddy.
 
     The deployment must already have the user registered and categories
     subscribed; ``category_for_severity`` maps alert severities to the
@@ -41,21 +47,32 @@ class SimbaStrategy:
         self.endpoint = source_endpoint
         self.deployment = deployment
         self.source_name = source_name
-        self.mode = im_ack_then_email()
-        self.messages_sent = 0
-        self.outcomes = []
+        self.pipeline = SourceDeliveryPipeline(
+            env, source_endpoint, im_ack_then_email()
+        )
+
+    @property
+    def mode(self):
+        return self.pipeline.mode
+
+    @mode.setter
+    def mode(self, mode) -> None:
+        self.pipeline.mode = mode
+
+    @property
+    def outcomes(self):
+        return self.pipeline.outcomes
+
+    @property
+    def messages_sent(self) -> int:
+        return self.pipeline.messages_sent
 
     def deliver(self, alert: Alert, user: UserEndpoint) -> None:
         book = self.deployment.source_facing_book()
         self.env.process(
-            self._deliver(alert, book),
+            self.pipeline.send(alert, book),
             name=f"simba-strategy-{alert.alert_id}",
         )
-
-    def _deliver(self, alert: Alert, book):
-        outcome = yield from self.endpoint.deliver_alert(alert, self.mode, book)
-        self.outcomes.append(outcome)
-        self.messages_sent += outcome.messages_sent
 
     @staticmethod
     def category_for_severity(severity: AlertSeverity) -> str:

@@ -28,11 +28,23 @@ from repro.core.buddy import MyAlertBuddy
 from repro.core.classifier import AlertClassifier, ExtractionRule
 from repro.core.delivery_modes import Action, CommunicationBlock, DeliveryMode
 from repro.core.endpoint import SimbaEndpoint
+from repro.core.farm import BuddyFarm, FarmProfile, FarmTenant
 from repro.core.filters import FilterDecision, FilterPolicy, TimeWindow
 from repro.core.host import Host
 from repro.core.managers import EmailManager, IMManager, SMSManager
 from repro.core.monkey import MonkeyThread
 from repro.core.pessimistic_log import LogEntry, PessimisticLog
+from repro.core.pipeline import (
+    AggregateStage,
+    AlertPipeline,
+    ClassifyStage,
+    FilterStage,
+    PipelineContext,
+    PipelineStage,
+    RetryStage,
+    RouteStage,
+    SourceDeliveryPipeline,
+)
 from repro.core.rejuvenation import RejuvenationPolicy
 from repro.core.router import BlockOutcome, DeliveryEngine, DeliveryOutcome
 from repro.core.stabilizer import SelfStabilizer
@@ -43,18 +55,25 @@ from repro.core.watchdog import MasterDaemonController
 __all__ = [
     "Action",
     "AddressBook",
+    "AggregateStage",
     "Alert",
     "AlertClassifier",
+    "AlertPipeline",
     "AlertSeverity",
     "BlockOutcome",
+    "BuddyFarm",
+    "ClassifyStage",
     "CommunicationBlock",
     "DeliveryEngine",
     "DeliveryMode",
     "DeliveryOutcome",
     "EmailManager",
     "ExtractionRule",
+    "FarmProfile",
+    "FarmTenant",
     "FilterDecision",
     "FilterPolicy",
+    "FilterStage",
     "Host",
     "IMManager",
     "LogEntry",
@@ -62,10 +81,15 @@ __all__ = [
     "MonkeyThread",
     "MyAlertBuddy",
     "PessimisticLog",
+    "PipelineContext",
+    "PipelineStage",
     "RejuvenationPolicy",
+    "RetryStage",
+    "RouteStage",
     "SMSManager",
     "SelfStabilizer",
     "SimbaEndpoint",
+    "SourceDeliveryPipeline",
     "Subscription",
     "SubscriptionLayer",
     "TimeWindow",

@@ -1,4 +1,4 @@
-"""MyAlertBuddy: the personal alert aggregator / filter / router (§3.3, §4.2).
+"""MyAlertBuddy: the personal alert daemon's lifecycle and HA machinery.
 
 One :class:`MyAlertBuddy` object is one *incarnation* — one run of the MAB
 process between launches by the MDC.  Everything that must survive a crash
@@ -10,14 +10,17 @@ lives outside the incarnation and is passed in:
 - the user-side configuration (:class:`BuddyConfig`),
 - the :class:`BuddyJournal` audit trail.
 
-Per-alert flow (§4.2): classification → aggregation → filtering → routing.
-High availability (§4.2.1): pessimistic log-before-ack (wired through the
-endpoint's ``pre_ack_hook``), MDC probe protocol (:meth:`attach_mdc`),
-self-stabilization tasks, and three-way rejuvenation.
+The per-alert flow (§4.2: classification → aggregation → filtering →
+routing, plus delivery retry and recovery replay) lives in
+:mod:`repro.core.pipeline`; this module owns only what is specific to an
+incarnation: high availability (§4.2.1) via pessimistic log-before-ack
+(wired through the endpoint's ``pre_ack_hook``), the MDC probe protocol
+(:meth:`attach_mdc`), self-stabilization tasks, and three-way rejuvenation.
 """
 
 from __future__ import annotations
 
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -26,8 +29,9 @@ import numpy as np
 from repro.core.aggregator import CategoryAggregator
 from repro.core.classifier import AlertClassifier
 from repro.core.endpoint import IncomingAlert, SimbaEndpoint
-from repro.core.filters import FilterDecision, FilterPolicy
+from repro.core.filters import FilterPolicy
 from repro.core.pessimistic_log import PessimisticLog
+from repro.core.pipeline import AlertPipeline
 from repro.core.rejuvenation import (
     RejuvenationKind,
     RejuvenationPolicy,
@@ -35,7 +39,7 @@ from repro.core.rejuvenation import (
 )
 from repro.core.stabilizer import SelfStabilizer
 from repro.core.subscription import SubscriptionLayer
-from repro.errors import AlertRejected, Interrupt, SimbaError
+from repro.errors import Interrupt, SimbaError
 from repro.net.channel import LatencyModel
 from repro.net.message import Message
 from repro.sim.clock import seconds_until_time_of_day
@@ -92,12 +96,28 @@ class JournalEvent:
 
 
 class BuddyJournal:
-    """Cross-incarnation audit trail plus the processed-alert dedup set."""
+    """Cross-incarnation audit trail plus the processed-alert dedup set.
 
-    def __init__(self):
-        self.events: list[JournalEvent] = []
+    Per-kind tallies are maintained incrementally in :meth:`record`, so
+    :meth:`count` is O(1) however long the run — the recovery report and the
+    fault-tolerance experiments poll it repeatedly.
+
+    ``max_events`` bounds the retained event window (a deque drops the
+    oldest entries) so million-alert farm runs do not grow memory linearly
+    with traffic — the same resource-consumption failure mode rejuvenation
+    exists to catch (§4.2.1).  Counts always reflect *all* events ever
+    recorded, retained or not.
+    """
+
+    def __init__(self, max_events: Optional[int] = None):
+        self.max_events = max_events
+        self.events: "deque[JournalEvent] | list[JournalEvent]" = (
+            deque(maxlen=max_events) if max_events is not None else []
+        )
         self.routed_ids: set[str] = set()
         self.rejuvenations: list[RejuvenationRecord] = []
+        self._counts: Counter[str] = Counter()
+        self.total_events = 0
 
     def record(
         self, at: float, kind: str, detail: str = "", alert_id: Optional[str] = None
@@ -105,11 +125,24 @@ class BuddyJournal:
         self.events.append(
             JournalEvent(at=at, kind=kind, detail=detail, alert_id=alert_id)
         )
+        self._counts[kind] += 1
+        self.total_events += 1
 
     def count(self, kind: str) -> int:
-        return sum(1 for e in self.events if e.kind == kind)
+        return self._counts[kind]
+
+    def counts(self) -> Counter:
+        """A copy of every per-kind tally (for aggregate farm rollups)."""
+        return Counter(self._counts)
+
+    @property
+    def dropped_events(self) -> int:
+        """How many events the ``max_events`` bound has evicted."""
+        return self.total_events - len(self.events)
 
     def of_kind(self, kind: str) -> list[JournalEvent]:
+        """The *retained* events of one kind (the bound may have dropped
+        older ones; use :meth:`count` for exact totals)."""
         return [e for e in self.events if e.kind == kind]
 
 
@@ -139,6 +172,15 @@ class MyAlertBuddy:
         self.last_progress = env.now
         self.stabilizer = SelfStabilizer(env, on_unrectifiable=self._on_unrectifiable)
         self._shutdown_clients_on_exit = False
+        self.pipeline = AlertPipeline(
+            env,
+            config=config,
+            endpoint=endpoint,
+            log=log,
+            journal=journal,
+            rng=rng,
+            on_progress=self._mark_progress,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -299,137 +341,22 @@ class MyAlertBuddy:
         )
 
     def _recover(self):
-        """Replay unprocessed log entries before accepting new alerts.
-
-        "Every time MyAlertBuddy is restarted, it first checks the log file
-        for unprocessed IMs before accepting new alerts" (§4.2.1).
-        """
-        from repro.core.alert import Alert
-        from repro.net.message import ChannelType
-
-        for entry in self.log.unprocessed():
-            self.journal.record(
-                self.env.now, "recovery_replay", alert_id=entry.alert_id
-            )
-            incoming = IncomingAlert(
-                alert=Alert.decode(entry.payload),
-                via=ChannelType.IM,
-                sender="(recovered)",
-                received_at=entry.received_at,
-            )
-            yield from self._process_incoming(incoming)
+        """Replay unprocessed log entries (the pipeline owns the mechanics)."""
+        yield from self.pipeline.recover()
 
     # ------------------------------------------------------------------
-    # The §4.2 pipeline
+    # The §4.2 pipeline (see repro.core.pipeline for the stages)
     # ------------------------------------------------------------------
+
+    def _mark_progress(self) -> None:
+        self.last_progress = self.env.now
 
     def _process_incoming(self, incoming: IncomingAlert):
-        config = self.config
-        alert = incoming.alert
+        """Incarnation-side accounting, then one pipeline trip."""
         self.last_progress = self.env.now
         self.memory_mb += DEFAULT_LEAK_PER_ALERT_MB
-        entry = self.log.entry_for_alert(alert.alert_id)
-
-        def finish(kind: str, detail: str = ""):
-            self.journal.record(
-                self.env.now, kind, detail, alert_id=alert.alert_id
-            )
-            if entry is not None:
-                self.log.mark_processed(entry.entry_id)
-
-        if (
-            alert.alert_id in self.journal.routed_ids
-            and incoming.retry_users is None
-        ):
-            finish("duplicate_incoming", f"via {incoming.via.value}")
-            return
-
-        yield self.env.timeout(config.processing_latency.draw(self.rng))
-
-        try:
-            keyword = config.classifier.classify(alert, sender=incoming.sender)
-        except AlertRejected as exc:
-            finish("rejected", str(exc))
-            return
-        category = config.aggregator.category_for(keyword)
-        if category is None:
-            finish("unmapped", f"keyword {keyword!r}")
-            return
-        decision = config.filters.evaluate(category, self.env.now)
-        if decision is not FilterDecision.DELIVER:
-            finish("filtered", f"{category}: {decision.value}")
-            return
-        subscriptions = config.subscriptions.subscriptions_for(category)
-        if not subscriptions:
-            finish("no_subscribers", category)
-            return
-
-        if incoming.retry_users is not None:
-            subscriptions = [
-                s for s in subscriptions if s.user in incoming.retry_users
-            ]
-
-        tagged = alert.with_category(category)
-        yield self.env.timeout(config.routing_overhead.draw(self.rng))
-        failed_users: set[str] = set()
-        for subscription in subscriptions:
-            mode = config.subscriptions.mode(
-                subscription.user, subscription.mode_name
-            )
-            book = config.subscriptions.address_book(subscription.user)
-            outcome = yield from self.endpoint.deliver_alert(tagged, mode, book)
-            self.journal.record(
-                self.env.now,
-                "routed" if outcome.delivered else "delivery_failed",
-                f"{subscription.user} via {subscription.mode_name}",
-                alert_id=alert.alert_id,
-            )
-            if not outcome.delivered:
-                failed_users.add(subscription.user)
-
-        if failed_users and incoming.attempts + 1 < config.delivery_max_attempts:
-            # Some subscriber got nothing on any block: re-queue for them.
-            # The log entry stays unprocessed, so even a crash in the retry
-            # window cannot lose an acknowledged alert.
-            self.journal.record(
-                self.env.now,
-                "retry_scheduled",
-                f"attempt {incoming.attempts + 1} for {sorted(failed_users)}",
-                alert_id=alert.alert_id,
-            )
-            self.env.process(
-                self._requeue(incoming, failed_users),
-                name=f"retry-{alert.alert_id}",
-            )
-            if not failed_users.issuperset(s.user for s in subscriptions):
-                # Partial success: the successful users must not get it again.
-                self.journal.routed_ids.add(alert.alert_id)
-            self.last_progress = self.env.now
-            return
-        if failed_users:
-            self.journal.record(
-                self.env.now,
-                "delivery_abandoned",
-                f"gave up after {config.delivery_max_attempts} attempts",
-                alert_id=alert.alert_id,
-            )
-        self.journal.routed_ids.add(alert.alert_id)
-        if entry is not None:
-            self.log.mark_processed(entry.entry_id)
-        self.last_progress = self.env.now
-
-    def _requeue(self, incoming: IncomingAlert, failed_users: set[str]):
-        yield self.env.timeout(self.config.delivery_retry_delay)
-        retry = IncomingAlert(
-            alert=incoming.alert,
-            via=incoming.via,
-            sender=incoming.sender,
-            received_at=incoming.received_at,
-            seq=incoming.seq,
-            attempts=incoming.attempts + 1,
-            retry_users=frozenset(failed_users),
-        )
-        yield self.endpoint.alert_inbox.put(retry)
+        ctx = yield from self.pipeline.process(incoming)
+        return ctx
 
     # ------------------------------------------------------------------
     # Self-stabilization tasks

@@ -1,0 +1,264 @@
+"""BuddyFarm: thousands of MyAlertBuddies on one simulation kernel.
+
+The paper's workload is a portal serving ≈225k users / ≈778k alerts a day
+(§1), but SIMBA's architecture is a *personal* proxy: one MAB per user.
+Scaling that design is therefore a deployment problem — many small daemons
+against shared channel substrates — and this module is that deployment
+layer:
+
+- **Batched tenancy**: :meth:`BuddyFarm.add_users` creates N users and
+  their deployments in one call against the world's shared IM/email/SMS
+  services; :meth:`BuddyFarm.launch_all` / :meth:`BuddyFarm.teardown_all`
+  start and stop every MAB.
+- **O(1) routing**: tenants are dict-indexed by user name, by numeric
+  index, and by every MAB-facing address, so a replayed log record (or an
+  incoming message) finds its deployment without scanning — the per-buddy
+  linear wiring a single-user world gets away with does not survive
+  thousands of tenants.
+- **Determinism by sharding**: tenants are assigned round-robin to shards;
+  farm-level randomness (launch staggering) draws from per-shard RNG
+  streams, and each deployment keeps its own per-user stream, so results
+  are independent of tenant creation order and identical across runs for a
+  fixed seed.
+- **Aggregate rollups**: journal tallies (O(kinds) per tenant thanks to the
+  journal's incremental counters), receipt latencies and delivery ratios
+  across the whole farm.
+
+A farm does not change what a MAB *is* — each tenant runs the real
+:class:`~repro.core.buddy.MyAlertBuddy` with the full §4.2 pipeline and HA
+machinery.  :class:`FarmProfile` only tunes per-tenant configuration (which
+categories to subscribe, maintenance cadence, journal bounding) so a
+million-alert run stays O(traffic) in memory and kernel events.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.addresses import AddressBook
+    from repro.core.user_endpoint import Receipt, UserEndpoint
+    from repro.world import BuddyDeployment, SimbaWorld
+
+
+@dataclass
+class FarmProfile:
+    """Per-tenant configuration the farm applies at creation time."""
+
+    #: Categories each tenant subscribes to (keyword == category).
+    categories: tuple[str, ...] = ("News",)
+    #: Delivery mode used for every subscription.
+    mode_name: str = "normal"
+    #: Alert sources every tenant's classifier accepts.
+    accept_sources: tuple[str, ...] = ()
+    present: bool = True
+    ack_enabled: bool = True
+    #: Self-stabilization cadence.  The paper runs sanity checks every
+    #: minute on one desktop (§4.2.1); with thousands of tenants that is
+    #: O(tenants × minutes) kernel events, so farms may stretch it.
+    sanity_interval: Optional[float] = None
+    monkey_enabled: bool = True
+    nightly_enabled: bool = True
+    #: Bound each tenant's retained journal events (counts stay exact).
+    journal_max_events: Optional[int] = None
+    #: Spread launches over [0, launch_stagger) seconds (per-shard RNG) so
+    #: periodic maintenance does not fire in lockstep across the farm.
+    launch_stagger: float = 0.0
+
+
+@dataclass
+class FarmTenant:
+    """One user's slice of the farm."""
+
+    name: str
+    index: int
+    shard: int
+    user: "UserEndpoint"
+    deployment: "BuddyDeployment"
+    book: "AddressBook" = field(repr=False, default=None)
+
+
+class BuddyFarm:
+    """Multi-tenant deployment layer over one :class:`SimbaWorld`."""
+
+    def __init__(
+        self,
+        world: "SimbaWorld",
+        shards: int = 16,
+        profile: Optional[FarmProfile] = None,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.world = world
+        self.shards = shards
+        self.profile = profile if profile is not None else FarmProfile()
+        self.tenants: dict[str, FarmTenant] = {}
+        self._by_index: list[FarmTenant] = []
+        self._by_address: dict[str, FarmTenant] = {}
+        self._shard_rngs = [
+            world.rngs.stream(f"farm-shard-{shard}") for shard in range(shards)
+        ]
+        self._launched = False
+
+    def __len__(self) -> int:
+        return len(self._by_index)
+
+    def __iter__(self) -> Iterator[FarmTenant]:
+        return iter(self._by_index)
+
+    # ------------------------------------------------------------------
+    # Tenancy
+    # ------------------------------------------------------------------
+
+    def add_user(self, name: str) -> FarmTenant:
+        """Create one user + deployment, configured per the profile."""
+        profile = self.profile
+        world = self.world
+        index = len(self._by_index)
+        user = world.create_user(
+            name, present=profile.present, ack_enabled=profile.ack_enabled
+        )
+        deployment = world.create_buddy(
+            user, journal_max_events=profile.journal_max_events
+        )
+        deployment.register_user_endpoint(user)
+        for category in profile.categories:
+            deployment.subscribe(
+                category, user, profile.mode_name, keywords=[category]
+            )
+        for source_name in profile.accept_sources:
+            deployment.config.classifier.accept_source(source_name)
+        if profile.sanity_interval is not None:
+            deployment.config.sanity_interval = profile.sanity_interval
+        deployment.config.monkey_enabled = profile.monkey_enabled
+        deployment.config.rejuvenation.nightly_enabled = profile.nightly_enabled
+
+        tenant = FarmTenant(
+            name=name,
+            index=index,
+            shard=index % self.shards,
+            user=user,
+            deployment=deployment,
+            book=deployment.source_facing_book(),
+        )
+        self.tenants[name] = tenant
+        self._by_index.append(tenant)
+        for address in (
+            deployment.im_address,
+            deployment.email_address,
+            user.im_address,
+            user.email_address,
+        ):
+            self._by_address[address] = tenant
+        return tenant
+
+    def add_users(self, count: int, prefix: str = "user") -> list[FarmTenant]:
+        """Batch-create ``count`` tenants named ``{prefix}{i}``."""
+        start = len(self._by_index)
+        return [
+            self.add_user(f"{prefix}{start + offset}")
+            for offset in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+    # O(1) routing
+    # ------------------------------------------------------------------
+
+    def tenant(self, name: str) -> FarmTenant:
+        return self.tenants[name]
+
+    def tenant_at(self, index: int) -> FarmTenant:
+        return self._by_index[index]
+
+    def route(self, address: str) -> Optional[FarmTenant]:
+        """Resolve any MAB- or user-facing address to its tenant, O(1)."""
+        return self._by_address.get(address)
+
+    def book_for(self, name: str) -> "AddressBook":
+        """The tenant's source-facing address book (cached, §3.3 privacy)."""
+        return self.tenants[name].book
+
+    def register_with(self, source) -> None:
+        """Subscribe every tenant to ``source`` (dict-indexed on its side)."""
+        for tenant in self._by_index:
+            source.add_target(tenant.book)
+
+    # ------------------------------------------------------------------
+    # Batched lifecycle
+    # ------------------------------------------------------------------
+
+    def launch_all(self) -> None:
+        """Start one MAB incarnation per tenant.
+
+        With ``launch_stagger`` set, each tenant starts at a per-shard
+        random offset inside the window, so thousands of sanity-check and
+        nightly-rejuvenation timers do not fire in lockstep.
+        """
+        if self._launched:
+            raise RuntimeError("farm already launched")
+        self._launched = True
+        stagger = self.profile.launch_stagger
+        for tenant in self._by_index:
+            if stagger > 0.0:
+                delay = float(
+                    self._shard_rngs[tenant.shard].uniform(0.0, stagger)
+                )
+                self.world.env.process(
+                    self._delayed_launch(tenant, delay),
+                    name=f"farm-launch-{tenant.name}",
+                )
+            else:
+                tenant.deployment.launch()
+
+    def _delayed_launch(self, tenant: FarmTenant, delay: float):
+        yield self.world.env.timeout(delay)
+        tenant.deployment.launch()
+
+    def teardown_all(self, reason: str = "farm teardown") -> None:
+        """Request termination of every live incarnation.
+
+        Interrupts are simulation events: call this while the kernel still
+        has time to run (or run the world briefly afterwards) so the
+        incarnations can unwind cleanly.
+        """
+        for tenant in self._by_index:
+            buddy = tenant.deployment.current
+            if buddy is not None and buddy.alive:
+                buddy.force_terminate(reason)
+
+    # ------------------------------------------------------------------
+    # Aggregate rollups
+    # ------------------------------------------------------------------
+
+    def aggregate_counts(self) -> Counter:
+        """Sum of every tenant journal's per-kind tallies (O(1) per kind)."""
+        total: Counter = Counter()
+        for tenant in self._by_index:
+            total.update(tenant.deployment.journal.counts())
+        return total
+
+    def receipts(self, unique: bool = True) -> list["Receipt"]:
+        """Every receipt across the farm (``unique`` drops duplicates)."""
+        return [
+            receipt
+            for tenant in self._by_index
+            for receipt in tenant.user.receipts
+            if not (unique and receipt.duplicate)
+        ]
+
+    def delivery_summary(self) -> dict:
+        """Farm-wide delivery rollup: receipts, latency, journal tallies."""
+        from repro.metrics.stats import summarize
+
+        received = self.receipts(unique=True)
+        counts = self.aggregate_counts()
+        return {
+            "tenants": len(self._by_index),
+            "received": len(received),
+            "latency": summarize([r.latency for r in received]),
+            "routed": counts["routed"],
+            "delivery_failed": counts["delivery_failed"],
+            "counts": counts,
+        }

@@ -1,0 +1,385 @@
+"""The §4.2 per-alert pipeline, extracted into composable stages.
+
+MyAlertBuddy's per-alert flow — classification → aggregation → filtering →
+routing (with delivery retry) — used to live inline in ``buddy.py``.  Here it
+is an explicit :class:`AlertPipeline`: an ordered list of
+:class:`PipelineStage` objects sharing one :class:`PipelineContext` per
+alert.  A stage either advances the context or finishes it with a journal
+outcome (``rejected``, ``unmapped``, ``filtered``, ``no_subscribers``,
+``routed`` / ``retry_scheduled`` / ``delivery_abandoned``).
+
+The split buys three things:
+
+- **buddy.py shrinks to lifecycle/HA concerns** (incarnations, MDC
+  protocol, self-stabilization, rejuvenation) and simply owns a pipeline;
+- **each stage is independently unit-testable** against a synthetic context
+  (see ``tests/test_core_pipeline.py``);
+- **the source side reuses the same module**:
+  :class:`SourceDeliveryPipeline` is the delivery-mode entry used by
+  :class:`~repro.sources.base.AlertSource`, the baselines'
+  ``SimbaStrategy`` and the WISH alert service, so outcome bookkeeping is
+  written once.
+
+Determinism contract: the stage order and every RNG draw (processing
+latency, routing overhead) are exactly the pre-refactor sequence, so a
+fixed seed produces a byte-identical journal (covered by the golden test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.core.endpoint import IncomingAlert, SimbaEndpoint
+from repro.core.filters import FilterDecision
+from repro.errors import AlertRejected
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.addresses import AddressBook
+    from repro.core.alert import Alert
+    from repro.core.buddy import BuddyConfig, BuddyJournal
+    from repro.core.delivery_modes import DeliveryMode
+    from repro.core.pessimistic_log import LogEntry, PessimisticLog
+    from repro.core.subscription import Subscription
+    from repro.net.channel import LatencyModel
+    from repro.sim.kernel import Environment
+
+
+@dataclass
+class PipelineContext:
+    """Everything one alert's trip through the stages can see or mutate."""
+
+    env: "Environment"
+    config: "BuddyConfig"
+    endpoint: SimbaEndpoint
+    log: "PessimisticLog"
+    journal: "BuddyJournal"
+    rng: np.random.Generator
+    incoming: IncomingAlert
+    #: The pessimistic-log entry backing this alert, if it arrived by IM.
+    entry: Optional["LogEntry"] = None
+    # Stage products.
+    keyword: Optional[str] = None
+    category: Optional[str] = None
+    subscriptions: Optional[list["Subscription"]] = None
+    failed_users: set[str] = field(default_factory=set)
+    finished: bool = False
+    outcome_kind: Optional[str] = None
+
+    @property
+    def alert(self) -> "Alert":
+        return self.incoming.alert
+
+    def finish(self, kind: str, detail: str = "") -> None:
+        """Record the terminal journal outcome and mark the log entry
+        processed — the log-entry lifecycle every early exit shares."""
+        self.finished = True
+        self.outcome_kind = kind
+        self.journal.record(
+            self.env.now, kind, detail, alert_id=self.alert.alert_id
+        )
+        if self.entry is not None:
+            self.log.mark_processed(self.entry.entry_id)
+
+
+class PipelineStage:
+    """One step of the per-alert flow.
+
+    ``run`` is a simulation generator: it may wait (yield timeouts/events)
+    and either finishes the context or lets the next stage continue.
+    """
+
+    name = "stage"
+
+    def run(self, ctx: PipelineContext):  # pragma: no cover - interface
+        raise NotImplementedError
+        yield  # noqa: W0101 - marks this as a generator to subclasses
+
+
+class ClassifyStage(PipelineStage):
+    """§4.2 "Alert classification": extract the category keyword.
+
+    Pays the per-alert processing latency, then asks the classifier —
+    an unaccepted source or unextractable keyword rejects the alert.
+    """
+
+    name = "classify"
+
+    def run(self, ctx: PipelineContext):
+        yield ctx.env.timeout(ctx.config.processing_latency.draw(ctx.rng))
+        try:
+            ctx.keyword = ctx.config.classifier.classify(
+                ctx.alert, sender=ctx.incoming.sender
+            )
+        except AlertRejected as exc:
+            ctx.finish("rejected", str(exc))
+
+
+class AggregateStage(PipelineStage):
+    """§4.2 "Alert aggregation": map the keyword to a personal category."""
+
+    name = "aggregate"
+
+    def run(self, ctx: PipelineContext):
+        ctx.category = ctx.config.aggregator.category_for(ctx.keyword)
+        if ctx.category is None:
+            ctx.finish("unmapped", f"keyword {ctx.keyword!r}")
+        return
+        yield  # pragma: no cover - purely synchronous stage
+
+
+class FilterStage(PipelineStage):
+    """§4.2 "Alert filtering": per-category suppression and time windows."""
+
+    name = "filter"
+
+    def run(self, ctx: PipelineContext):
+        decision = ctx.config.filters.evaluate(ctx.category, ctx.env.now)
+        if decision is not FilterDecision.DELIVER:
+            ctx.finish("filtered", f"{ctx.category}: {decision.value}")
+        return
+        yield  # pragma: no cover - purely synchronous stage
+
+
+class RouteStage(PipelineStage):
+    """§4.2 "Alert routing": deliver to every subscriber of the category.
+
+    Pays the routing overhead, executes each subscriber's delivery mode
+    through the endpoint, and records per-subscriber outcomes.  Subscribers
+    whose every communication block failed end up in ``ctx.failed_users``
+    for the retry stage.
+    """
+
+    name = "route"
+
+    def run(self, ctx: PipelineContext):
+        config = ctx.config
+        subscriptions = config.subscriptions.subscriptions_for(ctx.category)
+        if not subscriptions:
+            ctx.finish("no_subscribers", ctx.category)
+            return
+        if ctx.incoming.retry_users is not None:
+            subscriptions = [
+                s for s in subscriptions if s.user in ctx.incoming.retry_users
+            ]
+        ctx.subscriptions = subscriptions
+
+        tagged = ctx.alert.with_category(ctx.category)
+        yield ctx.env.timeout(config.routing_overhead.draw(ctx.rng))
+        for subscription in subscriptions:
+            mode = config.subscriptions.mode(
+                subscription.user, subscription.mode_name
+            )
+            book = config.subscriptions.address_book(subscription.user)
+            outcome = yield from ctx.endpoint.deliver_alert(tagged, mode, book)
+            ctx.journal.record(
+                ctx.env.now,
+                "routed" if outcome.delivered else "delivery_failed",
+                f"{subscription.user} via {subscription.mode_name}",
+                alert_id=ctx.alert.alert_id,
+            )
+            if not outcome.delivered:
+                ctx.failed_users.add(subscription.user)
+
+
+class RetryStage(PipelineStage):
+    """Re-queue subscribers whose every block failed (§4.2.1 durability).
+
+    An acknowledged alert must never be silently dropped: while attempts
+    remain, the alert goes back into the inbox for the failed subscribers
+    only, and the log entry stays unprocessed so even a crash inside the
+    retry window cannot lose it.
+    """
+
+    name = "retry"
+
+    def run(self, ctx: PipelineContext):
+        config = ctx.config
+        incoming = ctx.incoming
+        alert = ctx.alert
+        if ctx.failed_users and incoming.attempts + 1 < config.delivery_max_attempts:
+            ctx.journal.record(
+                ctx.env.now,
+                "retry_scheduled",
+                f"attempt {incoming.attempts + 1} for {sorted(ctx.failed_users)}",
+                alert_id=alert.alert_id,
+            )
+            ctx.env.process(
+                self._requeue(ctx, incoming, set(ctx.failed_users)),
+                name=f"retry-{alert.alert_id}",
+            )
+            if not ctx.failed_users.issuperset(
+                s.user for s in ctx.subscriptions
+            ):
+                # Partial success: successful users must not get it again.
+                ctx.journal.routed_ids.add(alert.alert_id)
+            ctx.finished = True
+            ctx.outcome_kind = "retry_scheduled"
+            return
+        if ctx.failed_users:
+            ctx.journal.record(
+                ctx.env.now,
+                "delivery_abandoned",
+                f"gave up after {config.delivery_max_attempts} attempts",
+                alert_id=alert.alert_id,
+            )
+        ctx.journal.routed_ids.add(alert.alert_id)
+        if ctx.entry is not None:
+            ctx.log.mark_processed(ctx.entry.entry_id)
+        ctx.finished = True
+        ctx.outcome_kind = (
+            "delivery_abandoned" if ctx.failed_users else "routed"
+        )
+        return
+        yield  # pragma: no cover - only waits inside _requeue
+
+    @staticmethod
+    def _requeue(
+        ctx: PipelineContext, incoming: IncomingAlert, failed_users: set[str]
+    ):
+        yield ctx.env.timeout(ctx.config.delivery_retry_delay)
+        retry = IncomingAlert(
+            alert=incoming.alert,
+            via=incoming.via,
+            sender=incoming.sender,
+            received_at=incoming.received_at,
+            seq=incoming.seq,
+            attempts=incoming.attempts + 1,
+            retry_users=frozenset(failed_users),
+        )
+        yield ctx.endpoint.alert_inbox.put(retry)
+
+
+def default_stages() -> list[PipelineStage]:
+    """The paper's §4.2 order: classify → aggregate → filter → route → retry."""
+    return [
+        ClassifyStage(),
+        AggregateStage(),
+        FilterStage(),
+        RouteStage(),
+        RetryStage(),
+    ]
+
+
+class AlertPipeline:
+    """Run alerts through the §4.2 stages against one MAB's configuration.
+
+    The pipeline is stateless between alerts (all per-alert state lives in
+    the context), so one instance serves every incarnation of a deployment
+    — and, in a :class:`~repro.core.farm.BuddyFarm`, thousands of pipelines
+    share the same stage *instances* safely.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        config: "BuddyConfig",
+        endpoint: SimbaEndpoint,
+        log: "PessimisticLog",
+        journal: "BuddyJournal",
+        rng: np.random.Generator,
+        stages: Optional[Iterable[PipelineStage]] = None,
+        on_progress: Optional[Callable[[], None]] = None,
+    ):
+        self.env = env
+        self.config = config
+        self.endpoint = endpoint
+        self.log = log
+        self.journal = journal
+        self.rng = rng
+        self.stages = list(stages) if stages is not None else default_stages()
+        #: Invoked whenever an alert's trip completes a routing pass — the
+        #: buddy hooks its progress timestamp (watched by the MDC) here.
+        self.on_progress = on_progress
+
+    def make_context(self, incoming: IncomingAlert) -> PipelineContext:
+        return PipelineContext(
+            env=self.env,
+            config=self.config,
+            endpoint=self.endpoint,
+            log=self.log,
+            journal=self.journal,
+            rng=self.rng,
+            incoming=incoming,
+            entry=self.log.entry_for_alert(incoming.alert.alert_id),
+        )
+
+    def process(self, incoming: IncomingAlert):
+        """Generator: run one alert through the stages; returns the context."""
+        ctx = self.make_context(incoming)
+        if (
+            ctx.alert.alert_id in self.journal.routed_ids
+            and incoming.retry_users is None
+        ):
+            ctx.finish("duplicate_incoming", f"via {incoming.via.value}")
+            return ctx
+        for stage in self.stages:
+            yield from stage.run(ctx)
+            if ctx.finished:
+                break
+        if ctx.outcome_kind in ("retry_scheduled", "routed",
+                                "delivery_abandoned"):
+            if self.on_progress is not None:
+                self.on_progress()
+        return ctx
+
+    def recover(self):
+        """Replay unprocessed log entries before accepting new alerts.
+
+        "Every time MyAlertBuddy is restarted, it first checks the log file
+        for unprocessed IMs before accepting new alerts" (§4.2.1).
+        """
+        from repro.core.alert import Alert
+        from repro.net.message import ChannelType
+
+        for entry in self.log.unprocessed():
+            self.journal.record(
+                self.env.now, "recovery_replay", alert_id=entry.alert_id
+            )
+            incoming = IncomingAlert(
+                alert=Alert.decode(entry.payload),
+                via=ChannelType.IM,
+                sender="(recovered)",
+                received_at=entry.received_at,
+            )
+            yield from self.process(incoming)
+
+
+class SourceDeliveryPipeline:
+    """Source-side entry into SIMBA: one delivery-mode execution per alert.
+
+    Every alert *producer* — generic :class:`~repro.sources.base.AlertSource`
+    subclasses, the baselines' ``SimbaStrategy``, the WISH alert service —
+    needs the same three steps: an optional service-processing delay, a
+    delivery-mode execution through its endpoint, and outcome bookkeeping.
+    This object is that flow, written once.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        endpoint: SimbaEndpoint,
+        mode: "DeliveryMode",
+        processing: Optional["LatencyModel"] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.env = env
+        self.endpoint = endpoint
+        self.mode = mode
+        self.processing = processing
+        self.rng = rng
+        self.outcomes = []
+        self.messages_sent = 0
+
+    def send(self, alert: "Alert", book: "AddressBook"):
+        """Generator: deliver ``alert`` to ``book``; returns the outcome."""
+        if self.processing is not None:
+            yield self.env.timeout(self.processing.draw(self.rng))
+        outcome = yield from self.endpoint.deliver_alert(
+            alert, self.mode, book
+        )
+        self.outcomes.append(outcome)
+        self.messages_sent += outcome.messages_sent
+        return outcome

@@ -20,8 +20,10 @@ the paper-vs-measured table, and assert the qualitative *shape* holds.
 
 from repro.experiments.ablations import (
     AckTimeoutPoint,
+    FarmThroughputPoint,
     LogLatencyPoint,
     run_ack_timeout_sweep,
+    run_farm_throughput_sweep,
     run_log_latency_sweep,
 )
 from repro.experiments.aladdin_e2e import AladdinE2EResult, run_aladdin_disarm
@@ -47,8 +49,10 @@ from repro.experiments.wish_e2e import WishE2EResult, run_wish_location
 __all__ = [
     "AckTimeoutPoint",
     "AladdinE2EResult",
+    "FarmThroughputPoint",
     "LogLatencyPoint",
     "run_ack_timeout_sweep",
+    "run_farm_throughput_sweep",
     "run_log_latency_sweep",
     "ComparisonResult",
     "FaultMonthResult",

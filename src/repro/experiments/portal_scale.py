@@ -9,15 +9,20 @@ Two parts:
    report alerts/day and distinct users/day, which should land on the
    paper's numbers by construction (the generator is calibrated, the check
    is that the pipeline preserves them).
-2. **Replay through real MABs** — scale the population down, attach actual
-   MyAlertBuddies to a sample of users, replay a day of the log through the
-   full source→MAB→user stack, and report delivery ratio and latency.
+2. **Replay through real MABs** — scale the population down, deploy a
+   :class:`~repro.core.farm.BuddyFarm` of actual MyAlertBuddies (hundreds
+   of tenants on one kernel), replay a day of the log through the full
+   source→MAB→user stack, and report delivery ratio and latency.  Each log
+   record addresses one recipient, so emission uses the farm's O(1)
+   tenant routing and the source's public single-recipient delivery —
+   no broadcast over targets, no private APIs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.farm import FarmProfile
 from repro.metrics.stats import Summary, summarize
 from repro.sim.clock import DAY, MINUTE
 from repro.workloads.portal_log import LogRecord, PortalLogGenerator
@@ -43,12 +48,17 @@ class PortalScaleResult:
             return float("nan")
         return self.replay_received / self.replay_alerts
 
+    @property
+    def replay_throughput(self) -> float:
+        """Aggregate delivered alerts/s over the replayed day."""
+        return self.replay_received / DAY
+
 
 def run_portal_log(
     seed: int = 0,
     full_scale_days: int = 7,
-    replay_users: int = 8,
-    replay_alerts_target: int = 300,
+    replay_users: int = 500,
+    replay_alerts_target: int = 1750,
 ) -> PortalScaleResult:
     """Generate the full-scale log, then replay a scaled day through MABs."""
     world = SimbaWorld(seed=seed)
@@ -62,7 +72,7 @@ def run_portal_log(
     mean_users = sum(t["distinct_users"] for t in totals) / len(totals)
 
     # ------------------------------------------------------------------
-    # Scaled replay through real MyAlertBuddies.
+    # Scaled replay through a farm of real MyAlertBuddies.
     # ------------------------------------------------------------------
     scaled = PortalLogGenerator(
         world.rngs.stream("portal-replay"),
@@ -72,42 +82,34 @@ def run_portal_log(
     day_records: list[LogRecord] = scaled.generate_day(0)
 
     source = world.create_source("portal")
-    deployment_by_user = {}
-    for user_id in range(replay_users):
-        user = world.create_user(f"user{user_id}", present=True)
-        deployment = world.create_buddy(user)
-        deployment.register_user_endpoint(user)
-        deployment.config.classifier.accept_source("portal")
-        for category in scaled.categories:
-            deployment.subscribe(category, user, "normal", keywords=[category])
-        deployment.launch()
-        deployment_by_user[user_id] = (user, deployment)
+    farm = world.create_farm(
+        profile=FarmProfile(
+            categories=tuple(scaled.categories),
+            accept_sources=("portal",),
+            # Spread startup so hundreds of per-tenant maintenance timers
+            # do not tick in lockstep at the top of every minute.
+            launch_stagger=60.0,
+        )
+    )
+    farm.add_users(replay_users)
+    farm.launch_all()
 
     def replayer(env):
         for record in day_records:
             if record.at > env.now:
                 yield env.timeout(record.at - env.now)
-            _user, deployment = deployment_by_user[record.user_id]
-            alert = source.make_alert(
+            tenant = farm.tenant_at(record.user_id)
+            source.emit_to(
+                tenant.book,
                 record.category,
                 f"{record.category} alert",
                 f"log replay at {record.at:.0f}",
             )
-            source.emitted.append(alert)
-            env.process(
-                source._deliver(alert, deployment.source_facing_book()),
-                name=f"replay-{alert.alert_id}",
-            )
 
-    world.env.process(replayer(world.env))
+    world.env.process(replayer(world.env), name="portal-replayer")
     world.run(until=DAY + 30 * MINUTE)
 
-    receipts = [
-        r
-        for user, _d in deployment_by_user.values()
-        for r in user.receipts
-        if not r.duplicate
-    ]
+    receipts = farm.receipts(unique=True)
     return PortalScaleResult(
         days=full_scale_days,
         mean_alerts_per_day=mean_alerts,

@@ -20,6 +20,7 @@ from repro.core.addresses import AddressBook
 from repro.core.alert import Alert, AlertSeverity
 from repro.core.delivery_modes import DeliveryMode, im_ack_then_email
 from repro.core.endpoint import SimbaEndpoint
+from repro.core.pipeline import SourceDeliveryPipeline
 from repro.core.router import DeliveryOutcome
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -28,7 +29,13 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class AlertSource:
-    """Base class for everything that generates alerts."""
+    """Base class for everything that generates alerts.
+
+    Delivery itself (optional processing delay → mode execution → outcome
+    bookkeeping) is the shared
+    :class:`~repro.core.pipeline.SourceDeliveryPipeline`; this class adds
+    alert construction and the target registry.
+    """
 
     def __init__(
         self,
@@ -40,14 +47,34 @@ class AlertSource:
         self.env = env
         self.name = name
         self.endpoint = endpoint
-        self.mode = mode if mode is not None else im_ack_then_email()
+        self.pipeline = SourceDeliveryPipeline(
+            env, endpoint, mode if mode is not None else im_ack_then_email()
+        )
         self.targets: list[AddressBook] = []
+        #: Owner name → book, for O(1) per-recipient emission at farm scale.
+        self.targets_by_owner: dict[str, AddressBook] = {}
         self.emitted: list[Alert] = []
-        self.outcomes: list[DeliveryOutcome] = []
+
+    @property
+    def mode(self) -> DeliveryMode:
+        return self.pipeline.mode
+
+    @mode.setter
+    def mode(self, mode: DeliveryMode) -> None:
+        self.pipeline.mode = mode
+
+    @property
+    def outcomes(self) -> list[DeliveryOutcome]:
+        return self.pipeline.outcomes
 
     def add_target(self, book: AddressBook) -> None:
         """Subscribe one MyAlertBuddy (by its source-facing address book)."""
         self.targets.append(book)
+        self.targets_by_owner[book.owner] = book
+
+    def target_for(self, owner: str) -> AddressBook:
+        """O(1) lookup of one subscribed book by its owner name."""
+        return self.targets_by_owner[owner]
 
     # ------------------------------------------------------------------
     # Emission
@@ -87,12 +114,36 @@ class AlertSource:
         self.emitted.append(alert)
         processes = [
             self.env.process(
-                self._deliver(alert, book),
+                self.deliver(alert, book),
                 name=f"{self.name}-deliver-{alert.alert_id}",
             )
             for book in self.targets
         ]
         return alert, processes
+
+    def emit_to(
+        self,
+        target: "AddressBook | str",
+        keyword: str,
+        subject: str,
+        body: str,
+        severity: AlertSeverity = AlertSeverity.ROUTINE,
+    ) -> tuple[Alert, "Process"]:
+        """Create an alert and deliver it to one recipient only.
+
+        The farm-scale path: a portal alert addresses one recipient, so
+        emission must be O(1) in the number of subscribed MABs, not a
+        broadcast over ``targets``.  ``target`` is an address book or the
+        owner name of a registered one.
+        """
+        book = target if isinstance(target, AddressBook) else self.target_for(target)
+        alert = self.make_alert(keyword, subject, body, severity)
+        self.emitted.append(alert)
+        process = self.env.process(
+            self.deliver(alert, book),
+            name=f"{self.name}-deliver-{alert.alert_id}",
+        )
+        return alert, process
 
     def emit_and_wait(
         self,
@@ -106,10 +157,17 @@ class AlertSource:
         results = yield self.env.all_of(processes)
         return alert, list(results.values())
 
-    def _deliver(self, alert: Alert, book: AddressBook):
-        outcome = yield from self.endpoint.deliver_alert(alert, self.mode, book)
-        self.outcomes.append(outcome)
+    def deliver(self, alert: Alert, book: AddressBook):
+        """Deliver ``alert`` to ``book`` (generator returning the outcome).
+
+        The public single-delivery entry point — experiments that replay a
+        log against specific recipients drive this directly.
+        """
+        outcome = yield from self.pipeline.send(alert, book)
         return outcome
+
+    # Backwards-compatible alias (pre-1.1 private name).
+    _deliver = deliver
 
     # ------------------------------------------------------------------
     # Reporting helpers

@@ -74,6 +74,10 @@ class WISHAlertService(AlertSource):
         super().__init__(env, name, endpoint, mode=mode)
         self.server = server
         self.plan = server.plan
+        # Reuse the shared source pipeline for the web-service processing
+        # delay: every delivery pays SERVICE_PROCESSING before the mode runs.
+        self.pipeline.processing = SERVICE_PROCESSING
+        self.pipeline.rng = server.rng
         #: tracked person → set of requesters they allow.
         self._authorized: dict[str, set[str]] = {}
         self._tracks: dict[str, _TrackState] = {}
@@ -168,12 +172,6 @@ class WISHAlertService(AlertSource):
             self.provenance[alert.alert_id] = report_sent_at
         self.emitted.append(alert)
         self.env.process(
-            self._process_and_deliver(alert, request.target_book),
+            self.deliver(alert, request.target_book),
             name=f"{self.name}-deliver-{alert.alert_id}",
         )
-
-    def _process_and_deliver(self, alert, book):
-        yield self.env.timeout(
-            SERVICE_PROCESSING.draw(self.server.rng)
-        )
-        yield from self._deliver(alert, book)

@@ -31,6 +31,7 @@ from repro.core.delivery_modes import (
     DeliveryMode,
 )
 from repro.core.endpoint import SimbaEndpoint
+from repro.core.farm import BuddyFarm
 from repro.core.filters import FilterPolicy
 from repro.core.host import Host
 from repro.core.pessimistic_log import PessimisticLog
@@ -71,7 +72,13 @@ class BuddyDeployment:
     by :meth:`launch` directly; the deployment is what survives.
     """
 
-    def __init__(self, world: "SimbaWorld", user_name: str, log_path=None):
+    def __init__(
+        self,
+        world: "SimbaWorld",
+        user_name: str,
+        log_path=None,
+        journal_max_events: Optional[int] = None,
+    ):
         self.world = world
         self.user_name = user_name
         self.im_address = f"mab-{user_name}@im"
@@ -97,7 +104,7 @@ class BuddyDeployment:
             self.log = PessimisticLog(
                 world.env, write_latency=world.config.log_write_latency
             )
-        self.journal = BuddyJournal()
+        self.journal = BuddyJournal(max_events=journal_max_events)
         self.config = BuddyConfig(
             user=user_name,
             classifier=AlertClassifier(),
@@ -288,19 +295,36 @@ class SimbaWorld:
         return user
 
     def create_buddy(
-        self, user: UserEndpoint, log_path=None
+        self,
+        user: UserEndpoint,
+        log_path=None,
+        journal_max_events: Optional[int] = None,
     ) -> BuddyDeployment:
         """Create the user's MAB deployment.
 
         ``log_path`` makes the pessimistic log file-backed (JSONL); an
         existing file is loaded, so a deployment can resume a previous
         world's unprocessed alerts — the disk-survives-reboot story.
+        ``journal_max_events`` bounds the journal's retained event window
+        (counts stay exact) for long high-volume runs.
         """
         if user.name in self.buddies:
             raise ValueError(f"{user.name!r} already has a MyAlertBuddy")
-        deployment = BuddyDeployment(self, user.name, log_path=log_path)
+        deployment = BuddyDeployment(
+            self, user.name, log_path=log_path,
+            journal_max_events=journal_max_events,
+        )
         self.buddies[user.name] = deployment
         return deployment
+
+    def create_farm(self, shards: int = 16, profile=None) -> "BuddyFarm":
+        """A multi-tenant :class:`~repro.core.farm.BuddyFarm` on this world.
+
+        The farm shares this world's IM/email/SMS substrates and host; use
+        :meth:`BuddyFarm.add_users` to populate it and
+        :meth:`BuddyFarm.launch_all` to start every MAB.
+        """
+        return BuddyFarm(self, shards=shards, profile=profile)
 
     def create_source_endpoint(self, name: str) -> "SimbaEndpoint":
         """A started SIMBA-library endpoint for an alert source.
