@@ -156,6 +156,14 @@ def _e9(seed: int) -> str:
     )
 
 
+def _e10(seed: int) -> str:
+    from repro.experiments import run_chaos_experiment
+    from repro.metrics import sweep_report
+
+    result = run_chaos_experiment(seed=seed, trials=5)
+    return sweep_report(result.sweep)
+
+
 EXPERIMENTS = {
     "e1": ("one-way IM < 1 s", _e1),
     "e2": ("logged ack ~1.5 s", _e2),
@@ -166,6 +174,7 @@ EXPERIMENTS = {
     "e7": ("portal scale 225k/778k", _e7),
     "e8": ("SIMBA vs baselines", _e8),
     "e9": ("HA ablation (slow)", _e9),
+    "e10": ("chaos sweep (oracle-checked)", _e10),
 }
 
 
@@ -176,7 +185,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e9), 'all' (e1-e8), or 'list'",
+        help="experiment id (e1..e10), 'all' (e1-e8), or 'list'",
     )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)

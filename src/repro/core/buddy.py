@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
@@ -85,6 +85,15 @@ class BuddyConfig:
     pessimistic_logging_enabled: bool = True
     self_stabilization_enabled: bool = True
     monkey_enabled: bool = True
+    # Testkit hook points.  The config outlives incarnations, so hooks set
+    # here survive every MDC restart — exactly what a chaos run needs.
+    #: Builds the stage list for each incarnation's pipeline (None = the
+    #: standard §4.2 stages).  The chaos testkit swaps in deliberately
+    #: broken stages here to validate that the oracle catches them.
+    stage_factory: Optional[Callable[[], list]] = None
+    #: Forwarded to :attr:`AlertPipeline.on_outcome` — observes every
+    #: completed pipeline trip (the delivery oracle's capture point).
+    pipeline_observer: Optional[Callable] = None
 
 
 @dataclass
@@ -115,6 +124,11 @@ class BuddyJournal:
             deque(maxlen=max_events) if max_events is not None else []
         )
         self.routed_ids: set[str] = set()
+        #: Alerts whose delivery-retry chain is still in flight.  A second
+        #: incoming copy (e.g. the sender's email fallback after a blocked
+        #: ack) must not start a competing chain — found by the chaos
+        #: testkit's exactly-once invariant.
+        self.retry_pending: set[str] = set()
         self.rejuvenations: list[RejuvenationRecord] = []
         self._counts: Counter[str] = Counter()
         self.total_events = 0
@@ -179,7 +193,13 @@ class MyAlertBuddy:
             log=log,
             journal=journal,
             rng=rng,
+            stages=(
+                config.stage_factory()
+                if config.stage_factory is not None
+                else None
+            ),
             on_progress=self._mark_progress,
+            on_outcome=config.pipeline_observer,
         )
 
     # ------------------------------------------------------------------

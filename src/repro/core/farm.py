@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Iterator, Optional
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.addresses import AddressBook
     from repro.core.user_endpoint import Receipt, UserEndpoint
+    from repro.core.watchdog import MasterDaemonController
     from repro.world import BuddyDeployment, SimbaWorld
 
 
@@ -78,6 +79,9 @@ class FarmTenant:
     user: "UserEndpoint"
     deployment: "BuddyDeployment"
     book: "AddressBook" = field(repr=False, default=None)
+    #: Set by :meth:`BuddyFarm.start_watchdogs` — None under plain
+    #: :meth:`BuddyFarm.launch_all`.
+    mdc: Optional["MasterDaemonController"] = field(repr=False, default=None)
 
 
 class BuddyFarm:
@@ -215,6 +219,25 @@ class BuddyFarm:
     def _delayed_launch(self, tenant: FarmTenant, delay: float):
         yield self.world.env.timeout(delay)
         tenant.deployment.launch()
+
+    def start_watchdogs(self, **mdc_kwargs) -> None:
+        """Put every tenant under its own MDC watchdog (§4.2.1).
+
+        Each MDC launches (and on crash/hang relaunches) its tenant's
+        incarnations, so this replaces :meth:`launch_all` — calling both
+        would race two incarnations for the same endpoint.  This is the
+        launch mode fault-injection rigs (the chaos testkit) need: a farm
+        whose tenants survive PROCESS_CRASH / PROCESS_HANG faults.
+        """
+        if self._launched:
+            raise RuntimeError("farm already launched")
+        self._launched = True
+        for tenant in self._by_index:
+            tenant.mdc = self.world.start_mdc(tenant.deployment, **mdc_kwargs)
+
+    def deployments(self) -> list["BuddyDeployment"]:
+        """Every tenant's deployment, in tenant-index order."""
+        return [tenant.deployment for tenant in self._by_index]
 
     def teardown_all(self, reason: str = "farm teardown") -> None:
         """Request termination of every live incarnation.

@@ -108,6 +108,10 @@ class PessimisticLog:
             key=lambda e: e.entry_id,
         )
 
+    def entries(self) -> list[LogEntry]:
+        """Every entry ever logged, oldest first (oracle/forensics view)."""
+        return sorted(self._entries.values(), key=lambda e: e.entry_id)
+
     def has_seen(self, alert_id: str) -> bool:
         """Whether this alert id was ever logged (incoming-dedup probe)."""
         return alert_id in self._by_alert

@@ -210,6 +210,9 @@ class RetryStage(PipelineStage):
                 self._requeue(ctx, incoming, set(ctx.failed_users)),
                 name=f"retry-{alert.alert_id}",
             )
+            # While the chain is in flight, later incoming copies (sender
+            # fallback duplicates, recovery replays) must defer to it.
+            ctx.journal.retry_pending.add(alert.alert_id)
             if not ctx.failed_users.issuperset(
                 s.user for s in ctx.subscriptions
             ):
@@ -226,6 +229,7 @@ class RetryStage(PipelineStage):
                 alert_id=alert.alert_id,
             )
         ctx.journal.routed_ids.add(alert.alert_id)
+        ctx.journal.retry_pending.discard(alert.alert_id)
         if ctx.entry is not None:
             ctx.log.mark_processed(ctx.entry.entry_id)
         ctx.finished = True
@@ -282,6 +286,7 @@ class AlertPipeline:
         rng: np.random.Generator,
         stages: Optional[Iterable[PipelineStage]] = None,
         on_progress: Optional[Callable[[], None]] = None,
+        on_outcome: Optional[Callable[[PipelineContext], None]] = None,
     ):
         self.env = env
         self.config = config
@@ -293,6 +298,11 @@ class AlertPipeline:
         #: Invoked whenever an alert's trip completes a routing pass — the
         #: buddy hooks its progress timestamp (watched by the MDC) here.
         self.on_progress = on_progress
+        #: Invoked with the context after every completed trip through the
+        #: stages, terminal or not — the chaos testkit's delivery oracle
+        #: hooks here to observe outcomes independently of the journal (a
+        #: trip that ends with ``finished=False`` dropped the alert).
+        self.on_outcome = on_outcome
 
     def make_context(self, incoming: IncomingAlert) -> PipelineContext:
         return PipelineContext(
@@ -309,11 +319,13 @@ class AlertPipeline:
     def process(self, incoming: IncomingAlert):
         """Generator: run one alert through the stages; returns the context."""
         ctx = self.make_context(incoming)
-        if (
+        if incoming.retry_users is None and (
             ctx.alert.alert_id in self.journal.routed_ids
-            and incoming.retry_users is None
+            or ctx.alert.alert_id in self.journal.retry_pending
         ):
             ctx.finish("duplicate_incoming", f"via {incoming.via.value}")
+            if self.on_outcome is not None:
+                self.on_outcome(ctx)
             return ctx
         for stage in self.stages:
             yield from stage.run(ctx)
@@ -323,6 +335,8 @@ class AlertPipeline:
                                 "delivery_abandoned"):
             if self.on_progress is not None:
                 self.on_progress()
+        if self.on_outcome is not None:
+            self.on_outcome(ctx)
         return ctx
 
     def recover(self):

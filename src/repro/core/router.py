@@ -83,23 +83,61 @@ class DeliveryOutcome:
 
 
 class AckTable:
-    """Pending acknowledgement events keyed by (peer address, IM seq)."""
+    """Pending acknowledgement events keyed by (peer address, IM seq).
+
+    Beyond resolving waits, the table classifies every ack it ever sees so
+    the chaos testkit's delivery oracle can assert protocol sanity:
+
+    - ``resolved_count``: acks that satisfied a live wait (the normal case);
+    - ``late_count``: acks for a wait that had already timed out — legal,
+      the sender simply fell back to the next block;
+    - ``duplicate_count``: a *second* ack for a (peer, seq) already acked —
+      never legal, this is the "no duplicate ACKs" invariant;
+    - ``unsolicited_count``: acks for a (peer, seq) nobody ever expected
+      (e.g. a polite receiver acking a fire-and-forget send) — reported,
+      not asserted on.
+
+    Sequence numbers are *per-session* (see :mod:`repro.net.im`), so after
+    a client relogin the same (peer, seq) key legitimately recurs.  A new
+    :meth:`expect` therefore starts a fresh conversation for its key,
+    clearing any stale acked state from the previous session.
+    """
 
     def __init__(self, env: "Environment"):
         self.env = env
         self._pending: dict[tuple[str, int], Event] = {}
+        self._expected: set[tuple[str, int]] = set()
+        self._acked: set[tuple[str, int]] = set()
+        self.resolved_count = 0
+        self.late_count = 0
+        self.duplicate_count = 0
+        self.unsolicited_count = 0
 
     def expect(self, peer: str, seq: int) -> Event:
         event = self.env.event()
         self._pending[(peer, seq)] = event
+        self._expected.add((peer, seq))
+        # Seq reuse after a session restart: this key's previous
+        # conversation (if any) is over; only acks from the new one count.
+        self._acked.discard((peer, seq))
         return event
 
     def resolve(self, peer: str, seq: int) -> bool:
         """Called when an ack message arrives; True if someone was waiting."""
-        event = self._pending.pop((peer, seq), None)
+        key = (peer, seq)
+        event = self._pending.pop(key, None)
         if event is None or event.triggered:
+            if key in self._acked:
+                self.duplicate_count += 1
+            elif key in self._expected:
+                self.late_count += 1
+                self._acked.add(key)
+            else:
+                self.unsolicited_count += 1
             return False
         event.succeed(self.env.now)
+        self.resolved_count += 1
+        self._acked.add(key)
         return True
 
     def cancel(self, peer: str, seq: int) -> None:

@@ -16,6 +16,7 @@ the paper-vs-measured table, and assert the qualitative *shape* holds.
 | E7 | :func:`~repro.experiments.portal_scale.run_portal_log` | 225 k users / 778 k alerts/day |
 | E8 | :func:`~repro.experiments.delivery_comparison.run_comparison` | SIMBA vs baselines |
 | E9 | :func:`~repro.experiments.fault_tolerance.run_ha_ablation` | each HA technique matters |
+| E10 | :func:`~repro.experiments.chaos.run_chaos_experiment` | randomized chaos search |
 """
 
 from repro.experiments.ablations import (
@@ -27,6 +28,10 @@ from repro.experiments.ablations import (
     run_log_latency_sweep,
 )
 from repro.experiments.aladdin_e2e import AladdinE2EResult, run_aladdin_disarm
+from repro.experiments.chaos import (
+    ChaosExperimentResult,
+    run_chaos_experiment,
+)
 from repro.experiments.delivery_comparison import (
     ComparisonResult,
     StrategyMetrics,
@@ -49,6 +54,7 @@ from repro.experiments.wish_e2e import WishE2EResult, run_wish_location
 __all__ = [
     "AckTimeoutPoint",
     "AladdinE2EResult",
+    "ChaosExperimentResult",
     "FarmThroughputPoint",
     "LogLatencyPoint",
     "run_ack_timeout_sweep",
@@ -62,6 +68,7 @@ __all__ = [
     "WishE2EResult",
     "run_ack_roundtrip",
     "run_aladdin_disarm",
+    "run_chaos_experiment",
     "run_comparison",
     "run_fault_month",
     "run_ha_ablation",

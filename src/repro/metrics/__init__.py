@@ -1,6 +1,7 @@
 """Measurement helpers: latency summaries, collectors, report tables."""
 
 from repro.metrics.collector import LatencyCollector
+from repro.metrics.invariant_report import invariant_report, sweep_report
 from repro.metrics.recovery_report import recovery_report
 from repro.metrics.reports import format_table
 from repro.metrics.stats import Summary, summarize
@@ -11,8 +12,10 @@ __all__ = [
     "Summary",
     "TraceEvent",
     "format_table",
+    "invariant_report",
     "recovery_report",
     "render_trace",
     "summarize",
+    "sweep_report",
     "trace_alert",
 ]

@@ -1,0 +1,78 @@
+"""Render chaos-testkit results as the plain-text tables benches print.
+
+Companion to :mod:`repro.metrics.recovery_report`: where that one
+summarizes *what broke and recovered*, this one summarizes *what the
+delivery oracle checked* — invariant coverage, violations, and the
+per-trial sweep verdicts with their shrink outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.metrics.reports import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.testkit.harness import ChaosReport
+    from repro.testkit.sweep import ChaosSweepResult
+
+
+def invariant_report(report: "ChaosReport") -> str:
+    """One run: what was checked, what was observed, what failed."""
+    lines = [report.summary(), ""]
+    checked_rows = sorted(report.oracle.checked.items())
+    info_rows = sorted(report.oracle.info.items())
+    lines.append(
+        format_table(
+            ["measure", "value"],
+            checked_rows + info_rows
+            + sorted(report.outcome_counts.items()),
+            title="oracle coverage",
+        )
+    )
+    if report.oracle.violations:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["invariant", "user", "detail"],
+                [
+                    (v.invariant, v.user or "-", v.detail)
+                    for v in report.oracle.violations
+                ],
+                title="violations",
+            )
+        )
+    return "\n".join(lines)
+
+
+def sweep_report(result: "ChaosSweepResult") -> str:
+    """Per-trial sweep table plus the reproducibility fingerprint."""
+    rows = []
+    for trial in result.trials:
+        shrunk = "-"
+        if trial.shrink_result is not None:
+            shrunk = (
+                f"{trial.shrink_result.original_size}→"
+                f"{len(trial.shrink_result.schedule)}"
+            )
+        rows.append(
+            (
+                trial.index,
+                trial.seed,
+                trial.schedule_size,
+                "PASS" if trial.ok else "FAIL",
+                len(trial.violations),
+                shrunk,
+            )
+        )
+    table = format_table(
+        ["trial", "seed", "faults", "verdict", "violations", "shrunk"],
+        rows,
+        title=f"chaos sweep seed={result.seed}",
+    )
+    verdict = "PASS" if result.ok else f"FAIL ({len(result.failures)} trial(s))"
+    return (
+        f"{table}\n"
+        f"sweep verdict: {verdict}\n"
+        f"fingerprint: {result.fingerprint()}"
+    )

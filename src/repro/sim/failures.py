@@ -45,6 +45,11 @@ class FaultKind(enum.Enum):
     #: Whole-machine power loss (the paper's one unrecovered outage; a UPS
     #: was the fix).
     POWER_OUTAGE = "power_outage"
+    #: SMTP relay unavailable.  Not in the paper's one-month log, but the
+    #: chaos testkit needs it: the delivery-retry path only fires when
+    #: *every* communication block fails, which requires the email backup
+    #: channel to be down at routing time.
+    EMAIL_OUTAGE = "email_outage"
 
 
 @dataclass(frozen=True)
@@ -99,8 +104,26 @@ class FaultInjector:
     def unregister(self, target: str) -> None:
         self._handlers.pop(target, None)
 
-    def load(self, faults: list[ScheduledFault]) -> None:
-        """Schedule every fault in ``faults`` for replay."""
+    def load(
+        self, faults: list[ScheduledFault], allow_unregistered: bool = False
+    ) -> None:
+        """Schedule every fault in ``faults`` for replay.
+
+        A faultload referencing a target nobody registered a handler for is
+        almost always a wiring mistake, so it raises a
+        :class:`ConfigurationError` up front rather than silently recording
+        "no handler" rejections fault by fault.  Pass
+        ``allow_unregistered=True`` to restore the permissive behaviour
+        (e.g. to measure attempted-vs-effective faults on a partial rig).
+        """
+        if not allow_unregistered:
+            missing = sorted({f.target for f in faults} - set(self._handlers))
+            if missing:
+                raise ConfigurationError(
+                    "faultload references unregistered injection targets: "
+                    + ", ".join(missing)
+                    + f" (registered: {sorted(self._handlers) or 'none'})"
+                )
         for fault in sorted(faults, key=lambda f: f.at):
             if fault.at < self.env.now:
                 raise ConfigurationError(

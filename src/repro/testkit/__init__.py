@@ -1,0 +1,87 @@
+"""Deterministic chaos-testing subsystem for the SIMBA reproduction.
+
+The paper's dependability claim (§5) rests on MyAlertBuddy surviving one
+month of *naturally occurring* failures.  :mod:`repro.sim.failures` replays
+that taxonomy, but only on hand-written schedules — a single trace.  This
+package closes the gap with property-based chaos testing: dependability is
+checked against *arbitrary* adversarial fault interleavings, not one log.
+
+Four pieces compose:
+
+- :class:`FaultScheduleGenerator` samples seeded random
+  :class:`~repro.sim.failures.ScheduledFault` sequences over the full
+  :class:`~repro.sim.failures.FaultKind` taxonomy — compound faults,
+  bursts, faults injected during recovery — parameterized by
+  :class:`ChaosIntensity`.
+- :func:`run_chaos` replays one schedule against a live
+  :class:`~repro.core.farm.BuddyFarm` (every tenant under its own MDC
+  watchdog) while a workload emits alerts, then lets the system quiesce.
+- :class:`DeliveryOracle` asserts end-to-end invariants after every run:
+  every accepted alert is delivered exactly once or explicitly
+  dead-lettered, no duplicate ACKs, journal replay is idempotent, and a
+  farm run is event-equivalent to the same users run as independent MABs.
+- :func:`shrink` delta-debugs a failing schedule down to a minimal
+  reproducer, serializable (seed + schedule JSON) for regression pinning
+  via :func:`dump_reproducer` / :func:`replay_reproducer`.
+
+:func:`chaos_sweep` ties them together: N seeded trials, oracle-checked,
+failures shrunk — bit-for-bit reproducible for a fixed seed.
+"""
+
+from repro.testkit.bugs import (
+    AbandonAmnesiaRetryStage,
+    SilentDropRetryStage,
+    drop_retry_stages,
+    silent_drop_stages,
+)
+from repro.testkit.generator import ChaosIntensity, FaultScheduleGenerator
+from repro.testkit.harness import ChaosReport, ChaosRunConfig, run_chaos
+from repro.testkit.oracle import (
+    DeliveryOracle,
+    EquivalenceReport,
+    OracleReport,
+    Violation,
+    check_farm_equivalence,
+)
+from repro.testkit.schedule import (
+    Reproducer,
+    dump_reproducer,
+    fault_from_dict,
+    fault_to_dict,
+    load_reproducer,
+    replay_reproducer,
+    schedule_from_json,
+    schedule_to_json,
+)
+from repro.testkit.shrink import ShrinkResult, shrink
+from repro.testkit.sweep import ChaosSweepResult, ChaosTrial, chaos_sweep
+
+__all__ = [
+    "AbandonAmnesiaRetryStage",
+    "ChaosIntensity",
+    "ChaosReport",
+    "ChaosRunConfig",
+    "ChaosSweepResult",
+    "ChaosTrial",
+    "DeliveryOracle",
+    "EquivalenceReport",
+    "FaultScheduleGenerator",
+    "OracleReport",
+    "Reproducer",
+    "ShrinkResult",
+    "SilentDropRetryStage",
+    "Violation",
+    "chaos_sweep",
+    "check_farm_equivalence",
+    "drop_retry_stages",
+    "dump_reproducer",
+    "fault_from_dict",
+    "fault_to_dict",
+    "load_reproducer",
+    "replay_reproducer",
+    "run_chaos",
+    "schedule_from_json",
+    "schedule_to_json",
+    "shrink",
+    "silent_drop_stages",
+]

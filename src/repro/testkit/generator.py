@@ -1,0 +1,260 @@
+"""Seeded random fault-schedule generation over the full taxonomy.
+
+A :class:`FaultScheduleGenerator` turns (seed, users, window, intensity)
+into a :class:`~repro.sim.failures.ScheduledFault` list.  Unlike
+:func:`~repro.workloads.faultload.generate_month_faultload`, which
+reproduces the paper's §5 category *mix*, this generator searches the space
+of adversarial interleavings:
+
+- **base faults** arrive Poisson over the window, each drawing a kind from
+  the whole :class:`~repro.sim.failures.FaultKind` taxonomy;
+- **bursts** stack extra compound faults (usually different kinds, often
+  different targets) within seconds of a base fault — the overlapping
+  IM-outage-during-hang, power-loss-mid-outage days;
+- **recovery chasers** inject a follow-up fault shortly after a crash,
+  hang or power loss, while the MDC/replay machinery is mid-recovery —
+  the interleavings hand-written schedules never cover.
+
+Everything is drawn from one ``numpy`` generator seeded in the
+constructor, so a (seed, parameters) pair always yields the identical
+schedule — which is what makes sweep results reproducible and shrunk
+schedules pinnable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import HOUR, MINUTE
+from repro.sim.failures import FaultKind, ScheduledFault
+from repro.workloads.faultload import (
+    KNOWN_DIALOG_CAPTIONS,
+    TARGET_EMAIL_SERVICE,
+    TARGET_HOST,
+    TARGET_IM_CLIENT,
+    TARGET_IM_SERVICE,
+    TARGET_MAB,
+    TARGET_SCREEN,
+    UNKNOWN_DIALOG_CAPTIONS,
+)
+
+#: Kinds that hit one user's slice of the farm (target carries the user).
+PER_USER_KINDS = (
+    FaultKind.CLIENT_LOGOUT,
+    FaultKind.CLIENT_HANG,
+    FaultKind.CLIENT_STALE_POINTER,
+    FaultKind.PROCESS_CRASH,
+    FaultKind.PROCESS_HANG,
+    FaultKind.MEMORY_LEAK,
+)
+#: Kinds whose injection leaves the system recovering for a while — the
+#: anchors recovery-chaser faults are scheduled after.
+RECOVERY_KINDS = (
+    FaultKind.PROCESS_CRASH,
+    FaultKind.PROCESS_HANG,
+    FaultKind.POWER_OUTAGE,
+    FaultKind.IM_SERVICE_OUTAGE,
+)
+
+
+def per_user_target(kind: FaultKind, user: str) -> str:
+    """Injection-target name for a per-user fault (``mab:alice``)."""
+    if kind in (
+        FaultKind.CLIENT_LOGOUT,
+        FaultKind.CLIENT_HANG,
+        FaultKind.CLIENT_STALE_POINTER,
+    ):
+        return f"{TARGET_IM_CLIENT}:{user}"
+    return f"{TARGET_MAB}:{user}"
+
+
+@dataclass(frozen=True)
+class ChaosIntensity:
+    """How hard the generator leans on the system.
+
+    The defaults are calibrated for a 2-hour window on a handful of
+    tenants: a fault every ~8 minutes, a quarter of them seeding compound
+    bursts.  Scale ``faults_per_hour`` up (or the run window down) to turn
+    a smoke sweep into a soak.
+    """
+
+    faults_per_hour: float = 8.0
+    #: Probability that a base fault seeds a burst of compound faults.
+    burst_probability: float = 0.25
+    #: 1..burst_max extra faults stacked inside ``burst_window``.
+    burst_max: int = 3
+    burst_window: float = 45.0
+    #: Probability of a follow-up fault while recovery from a crash /
+    #: hang / outage is still in flight.
+    recovery_chaser_probability: float = 0.35
+    #: Chaser lands this long after its anchor (recovery is mid-flight).
+    recovery_chaser_delay: tuple[float, float] = (5.0, 90.0)
+    #: Service-outage durations (IM and email alike).
+    outage_duration: tuple[float, float] = (30.0, 10 * MINUTE)
+    #: Power-outage durations (bounded so the host is back well before the
+    #: settle window ends).
+    power_duration: tuple[float, float] = (MINUTE, 8 * MINUTE)
+    #: Leaked megabytes per MEMORY_LEAK fault (over the 200 MB default
+    #: limit triggers rejuvenation; under it just loads the heap).
+    leak_megabytes: tuple[float, float] = (100.0, 400.0)
+
+    def __post_init__(self):
+        if self.faults_per_hour < 0:
+            raise ConfigurationError(
+                f"faults_per_hour must be >= 0, got {self.faults_per_hour}"
+            )
+        if not 0.0 <= self.burst_probability <= 1.0:
+            raise ConfigurationError(
+                f"burst_probability must be in [0, 1], got {self.burst_probability}"
+            )
+        if self.burst_max < 1:
+            raise ConfigurationError(
+                f"burst_max must be >= 1, got {self.burst_max}"
+            )
+        if not 0.0 <= self.recovery_chaser_probability <= 1.0:
+            raise ConfigurationError(
+                "recovery_chaser_probability must be in [0, 1], got "
+                f"{self.recovery_chaser_probability}"
+            )
+
+
+#: Relative draw weights over the taxonomy.  Service outages and process
+#: faults dominate (as in the paper's log); unknown dialogs are rare
+#: because each one parks every client on the shared screen until the
+#: simulated operator responds.
+KIND_WEIGHTS: dict[FaultKind, float] = {
+    FaultKind.IM_SERVICE_OUTAGE: 2.0,
+    FaultKind.EMAIL_OUTAGE: 1.5,
+    FaultKind.CLIENT_LOGOUT: 2.0,
+    FaultKind.CLIENT_HANG: 1.5,
+    FaultKind.CLIENT_STALE_POINTER: 1.0,
+    FaultKind.DIALOG_POPUP: 1.0,
+    FaultKind.UNKNOWN_DIALOG_POPUP: 0.25,
+    FaultKind.PROCESS_CRASH: 2.5,
+    FaultKind.PROCESS_HANG: 1.5,
+    FaultKind.MEMORY_LEAK: 0.75,
+    FaultKind.POWER_OUTAGE: 0.5,
+}
+
+
+class FaultScheduleGenerator:
+    """Sample random fault schedules for a fixed set of users."""
+
+    def __init__(
+        self,
+        seed: int,
+        users: list[str],
+        duration: float = 2 * HOUR,
+        start: float = 5 * MINUTE,
+        intensity: ChaosIntensity | None = None,
+    ):
+        if not users:
+            raise ConfigurationError("at least one user is required")
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration}")
+        self.seed = int(seed)
+        self.users = list(users)
+        self.duration = float(duration)
+        self.start = float(start)
+        self.intensity = intensity if intensity is not None else ChaosIntensity()
+        self.rng = np.random.default_rng(self.seed)
+        kinds = list(KIND_WEIGHTS)
+        weights = np.array([KIND_WEIGHTS[k] for k in kinds], dtype=float)
+        self._kinds = kinds
+        self._kind_probs = weights / weights.sum()
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def _draw_kind(self) -> FaultKind:
+        return self._kinds[
+            int(self.rng.choice(len(self._kinds), p=self._kind_probs))
+        ]
+
+    def _draw_user(self) -> str:
+        return self.users[int(self.rng.integers(0, len(self.users)))]
+
+    def _uniform(self, bounds: tuple[float, float]) -> float:
+        return float(self.rng.uniform(bounds[0], bounds[1]))
+
+    def make_fault(self, at: float, kind: FaultKind | None = None) -> ScheduledFault:
+        """One concrete fault at ``at`` (kind drawn if not given)."""
+        intensity = self.intensity
+        if kind is None:
+            kind = self._draw_kind()
+        if kind is FaultKind.IM_SERVICE_OUTAGE:
+            return ScheduledFault(
+                at=at, kind=kind, target=TARGET_IM_SERVICE,
+                duration=self._uniform(intensity.outage_duration),
+            )
+        if kind is FaultKind.EMAIL_OUTAGE:
+            return ScheduledFault(
+                at=at, kind=kind, target=TARGET_EMAIL_SERVICE,
+                duration=self._uniform(intensity.outage_duration),
+            )
+        if kind is FaultKind.POWER_OUTAGE:
+            return ScheduledFault(
+                at=at, kind=kind, target=TARGET_HOST,
+                duration=self._uniform(intensity.power_duration),
+            )
+        if kind is FaultKind.DIALOG_POPUP:
+            caption, button = KNOWN_DIALOG_CAPTIONS[
+                int(self.rng.integers(0, len(KNOWN_DIALOG_CAPTIONS)))
+            ]
+            return ScheduledFault(
+                at=at, kind=kind, target=TARGET_SCREEN,
+                params={"caption": caption, "button": button},
+            )
+        if kind is FaultKind.UNKNOWN_DIALOG_POPUP:
+            caption = UNKNOWN_DIALOG_CAPTIONS[
+                int(self.rng.integers(0, len(UNKNOWN_DIALOG_CAPTIONS)))
+            ]
+            return ScheduledFault(
+                at=at, kind=kind, target=TARGET_SCREEN,
+                params={"caption": caption, "button": "OK"},
+            )
+        user = self._draw_user()
+        params = {}
+        if kind is FaultKind.MEMORY_LEAK:
+            params = {
+                "megabytes": round(self._uniform(intensity.leak_megabytes), 1)
+            }
+        return ScheduledFault(
+            at=at, kind=kind, target=per_user_target(kind, user), params=params,
+        )
+
+    def generate(self) -> list[ScheduledFault]:
+        """One full schedule: base Poisson arrivals + bursts + chasers."""
+        intensity = self.intensity
+        expected = intensity.faults_per_hour * self.duration / HOUR
+        n_base = int(self.rng.poisson(expected))
+        base_times = np.sort(
+            self.rng.uniform(self.start, self.start + self.duration, n_base)
+        )
+        faults: list[ScheduledFault] = []
+        for at in base_times:
+            fault = self.make_fault(float(at))
+            faults.append(fault)
+            if self.rng.random() < intensity.burst_probability:
+                extra = int(self.rng.integers(1, intensity.burst_max + 1))
+                for _ in range(extra):
+                    offset = self._uniform((0.5, intensity.burst_window))
+                    faults.append(self.make_fault(float(at) + offset))
+            if (
+                fault.kind in RECOVERY_KINDS
+                and self.rng.random() < intensity.recovery_chaser_probability
+            ):
+                delay = self._uniform(intensity.recovery_chaser_delay)
+                anchor_end = fault.at + max(fault.duration, 0.0)
+                faults.append(self.make_fault(anchor_end + delay))
+        return sorted(faults, key=lambda f: f.at)
+
+    def window_end(self, schedule: list[ScheduledFault]) -> float:
+        """When the last fault (including its duration) is over."""
+        if not schedule:
+            return self.start
+        return max(f.at + f.duration for f in schedule)

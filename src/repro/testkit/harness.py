@@ -1,0 +1,317 @@
+"""The chaos harness: replay one fault schedule against a live farm.
+
+:func:`run_chaos` assembles a *zero-loss* world (random channel loss would
+make honest fire-and-forget deliveries look like oracle violations — every
+loss here must come from the fault schedule), populates a
+:class:`~repro.core.farm.BuddyFarm` whose tenants run under their own MDC
+watchdogs, drives a steady round-robin alert workload, injects the
+schedule, lets everything quiesce, and hands the world to the
+:class:`~repro.testkit.oracle.DeliveryOracle`.
+
+Determinism contract: for a fixed (:class:`ChaosRunConfig`, schedule) pair
+the run is bit-for-bit reproducible — :meth:`ChaosReport.fingerprint`
+digests only process-independent facts (outcome-kind counts, delivered
+subjects, ack counters, violations; never raw alert ids, which come from a
+process-global counter).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.farm import FarmProfile
+from repro.net.channel import LatencyModel
+from repro.sim.clock import HOUR, MINUTE
+from repro.sim.failures import FaultInjector, FaultKind, ScheduledFault
+from repro.testkit.oracle import DeliveryOracle, OracleReport
+from repro.workloads.faultload import (
+    TARGET_EMAIL_SERVICE,
+    TARGET_HOST,
+    TARGET_IM_CLIENT,
+    TARGET_IM_SERVICE,
+    TARGET_MAB,
+    TARGET_SCREEN,
+)
+from repro.world import SimbaWorld, WorldConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.farm import BuddyFarm, FarmTenant
+
+#: Fast store-and-forward email so chaos runs quiesce inside the settle
+#: window (the default model's tail is hours).
+EMAIL_FAST = LatencyModel(median=20.0, sigma=0.4, low=2.0, high=600.0)
+
+
+@dataclass(frozen=True)
+class ChaosRunConfig:
+    """Run parameters (all JSON-serializable, for reproducer pinning)."""
+
+    seed: int = 0
+    n_users: int = 3
+    #: The fault window the schedule was generated for.
+    duration: float = 2 * HOUR
+    #: Quiet head start before the first fault may fire.
+    start: float = 5 * MINUTE
+    #: One alert lands somewhere on the farm this often (round-robin).
+    alert_period: float = 40.0
+    #: Quiesce time after the last fault clears: must cover the retry
+    #: chain (max_attempts × retry_delay), recovery replays and the email
+    #: latency tail.
+    settle: float = 30 * MINUTE
+    #: How long a human takes to register an unknown dialog's rule (§5).
+    operator_response: float = 5 * MINUTE
+    delivery_retry_delay: float = 60.0
+    delivery_max_attempts: int = 4
+    mdc_check_interval: float = 60.0
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced."""
+
+    config: ChaosRunConfig
+    schedule: list[ScheduledFault]
+    oracle: OracleReport
+    #: Per-tenant workload counts.
+    offered: dict[str, int] = field(default_factory=dict)
+    delivered: dict[str, int] = field(default_factory=dict)
+    #: Aggregate pipeline outcome kinds across the farm.
+    outcome_counts: dict[str, int] = field(default_factory=dict)
+    injected: int = 0
+    rejected_injections: int = 0
+    horizon: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.oracle.ok
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of the run's observable behaviour."""
+        payload = {
+            "config": asdict(self.config),
+            "schedule": [
+                (f.at, f.kind.value, f.target, f.duration,
+                 sorted(f.params.items()))
+                for f in self.schedule
+            ],
+            "offered": sorted(self.offered.items()),
+            "delivered": sorted(self.delivered.items()),
+            "outcomes": sorted(self.outcome_counts.items()),
+            "injected": self.injected,
+            "rejected_injections": self.rejected_injections,
+            "violations": sorted(str(v) for v in self.oracle.violations),
+            "info": sorted(self.oracle.info.items()),
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        return (
+            f"chaos {verdict}: {self.injected} faults injected, "
+            f"{sum(self.offered.values())} alerts offered, "
+            f"{sum(self.delivered.values())} delivered — "
+            + self.oracle.summary()
+        )
+
+
+def wire_chaos_targets(
+    world: SimbaWorld,
+    farm: "BuddyFarm",
+    operator_response: float,
+) -> FaultInjector:
+    """Register handlers for every target name the generator can emit.
+
+    Global targets reuse the faultload names (``im-service``, ``host``…);
+    per-user faults address one tenant's slice as ``mab:<user>`` /
+    ``im-client:<user>``.
+    """
+    injector = FaultInjector(world.env)
+
+    def on_im_service(fault: ScheduledFault) -> bool:
+        if fault.kind is FaultKind.IM_SERVICE_OUTAGE:
+            world.im.outage(fault.duration)
+            return True
+        return False
+
+    def on_email_service(fault: ScheduledFault) -> bool:
+        if fault.kind is FaultKind.EMAIL_OUTAGE:
+            world.email.outage(fault.duration)
+            return True
+        return False
+
+    def on_host(fault: ScheduledFault) -> bool:
+        if fault.kind is FaultKind.POWER_OUTAGE and world.host.up:
+            return world.host.power_failure(fault.duration)
+        return False
+
+    def on_screen(fault: ScheduledFault) -> bool:
+        if not world.host.up:
+            return False
+        caption = fault.params.get("caption", "Mystery dialog")
+        button = fault.params.get("button", "OK")
+        world.host.screen.pop_dialog(caption, (button,), owner=None)
+        if fault.kind is FaultKind.UNKNOWN_DIALOG_POPUP:
+            def operator(env):
+                yield env.timeout(operator_response)
+                for deployment in farm.deployments():
+                    deployment.endpoint.im_manager.register_dialog_rule(
+                        caption, button
+                    )
+                    deployment.endpoint.email_manager.register_dialog_rule(
+                        caption, button
+                    )
+                blocking = [
+                    d
+                    for d in world.host.screen.open_dialogs()
+                    if d.caption == caption
+                ]
+                for dialog in blocking:
+                    world.host.screen.click(dialog, button)
+
+            world.env.process(operator(world.env), name="operator-fix")
+        return True
+
+    injector.register(TARGET_IM_SERVICE, on_im_service)
+    injector.register(TARGET_EMAIL_SERVICE, on_email_service)
+    injector.register(TARGET_HOST, on_host)
+    injector.register(TARGET_SCREEN, on_screen)
+
+    for tenant in farm:
+        injector.register(
+            f"{TARGET_MAB}:{tenant.name}", _mab_handler(tenant)
+        )
+        injector.register(
+            f"{TARGET_IM_CLIENT}:{tenant.name}", _client_handler(world, tenant)
+        )
+    return injector
+
+
+def _mab_handler(tenant: "FarmTenant"):
+    def on_mab(fault: ScheduledFault) -> bool:
+        current = tenant.deployment.current
+        if current is None or not current.alive:
+            return False
+        if fault.kind is FaultKind.PROCESS_CRASH:
+            return current.crash()
+        if fault.kind is FaultKind.PROCESS_HANG:
+            return current.hang()
+        if fault.kind is FaultKind.MEMORY_LEAK:
+            return current.leak_memory(fault.params.get("megabytes", 300.0))
+        return False
+
+    return on_mab
+
+
+def _client_handler(world: SimbaWorld, tenant: "FarmTenant"):
+    def on_im_client(fault: ScheduledFault) -> bool:
+        endpoint = tenant.deployment.endpoint
+        if fault.kind is FaultKind.CLIENT_LOGOUT:
+            return world.im.force_logout(tenant.deployment.im_address)
+        if fault.kind is FaultKind.CLIENT_HANG:
+            return endpoint.im_client.hang()
+        if fault.kind is FaultKind.CLIENT_STALE_POINTER:
+            client = endpoint.im_client
+            if not client.running:
+                return False
+            client.terminate()
+            client.start()
+            return True
+        return False
+
+    return on_im_client
+
+
+def run_chaos(
+    schedule: list[ScheduledFault],
+    config: Optional[ChaosRunConfig] = None,
+    stage_factory: Optional[Callable[[], list]] = None,
+    oracle: Optional[DeliveryOracle] = None,
+) -> ChaosReport:
+    """Replay ``schedule`` against a fresh farm; return the audited report.
+
+    ``stage_factory`` swaps every tenant's pipeline stages — the way the
+    testkit's own tests (and :mod:`repro.testkit.bugs`) plant deliberately
+    broken pipelines to prove the oracle has teeth.
+    """
+    if config is None:
+        config = ChaosRunConfig()
+    if oracle is None:
+        oracle = DeliveryOracle()
+
+    world = SimbaWorld(
+        WorldConfig(
+            seed=config.seed,
+            email_latency=EMAIL_FAST,
+            email_loss=0.0,
+            sms_loss=0.0,
+        )
+    )
+    farm = world.create_farm(
+        shards=4,
+        profile=FarmProfile(categories=("News",), accept_sources=("portal",)),
+    )
+    tenants = farm.add_users(config.n_users)
+    for tenant in tenants:
+        cfg = tenant.deployment.config
+        cfg.pipeline_observer = oracle.observer_for(tenant.name)
+        cfg.delivery_retry_delay = config.delivery_retry_delay
+        cfg.delivery_max_attempts = config.delivery_max_attempts
+        if stage_factory is not None:
+            cfg.stage_factory = stage_factory
+    farm.start_watchdogs(check_interval=config.mdc_check_interval)
+
+    source = world.create_source("portal")
+    farm.register_with(source)
+
+    fault_window_end = max(
+        [config.start + config.duration]
+        + [f.at + f.duration for f in schedule]
+    )
+    horizon = fault_window_end + config.settle
+    offered: dict[str, set[str]] = {t.name: set() for t in tenants}
+
+    def workload(env):
+        index = 0
+        while env.now < fault_window_end:
+            tenant = tenants[index % len(tenants)]
+            alert, _ = source.emit_to(
+                tenant.book, "News", f"alert-{index}-{tenant.name}", "body"
+            )
+            offered[tenant.name].add(alert.alert_id)
+            index += 1
+            yield env.timeout(config.alert_period)
+
+    world.env.process(workload(world.env), name="chaos-workload")
+
+    injector = wire_chaos_targets(world, farm, config.operator_response)
+    injector.load(schedule)
+
+    world.run(until=horizon)
+
+    report = oracle.check(
+        farm, offered=offered, source_endpoints=[source.endpoint]
+    )
+    outcome_counts: dict[str, int] = {}
+    for obs in oracle.observed:
+        kind = obs.kind or "(dropped)"
+        outcome_counts[kind] = outcome_counts.get(kind, 0) + 1
+    return ChaosReport(
+        config=config,
+        schedule=list(schedule),
+        oracle=report,
+        offered={name: len(ids) for name, ids in offered.items()},
+        delivered={
+            t.name: len(t.user.unique_alerts_received() & offered[t.name])
+            for t in tenants
+        },
+        outcome_counts=outcome_counts,
+        injected=sum(1 for r in injector.records if r.accepted),
+        rejected_injections=sum(
+            1 for r in injector.records if not r.accepted
+        ),
+        horizon=horizon,
+    )

@@ -1,0 +1,461 @@
+"""The delivery oracle: end-to-end invariants a chaos run must satisfy.
+
+The §4.2.1 dependability story compresses to a handful of checkable
+statements.  The oracle hooks the pipeline (via ``BuddyConfig
+.pipeline_observer``) and, after the run quiesces, audits every tenant's
+user endpoint, pessimistic log, journal and ack table:
+
+- **delivered-or-dead-letter** — every alert the MAB accepted either
+  reached the user's devices or carries an explicit dead-letter outcome
+  (``rejected`` / ``unmapped`` / ``filtered`` / ``no_subscribers`` /
+  ``delivery_abandoned``).  Silent loss is the one unforgivable outcome.
+- **exactly-once** — at most one terminal ``routed`` pipeline trip per
+  alert per tenant (the journal's ``routed_ids`` dedup is load-bearing).
+- **tenant-isolation** — no user ever receives an alert addressed to a
+  different tenant.
+- **no-duplicate-acks** — no (peer, seq) is ever acknowledged twice
+  (:class:`~repro.core.router.AckTable` classifies every ack; *late* acks
+  after an ack-timeout fallback are legal and only reported as info).
+- **log-quiescent** — the pessimistic log holds no unprocessed entries
+  once the run settles: every crash left nothing behind to replay.
+- **replay-idempotent** — re-running recovery over the log would be a
+  no-op: every processed entry is either in ``routed_ids`` (replay would
+  hit the duplicate-incoming guard) or was explicitly dead-lettered.
+- **pipeline-terminal** — every observed trip through the stages finished
+  with an outcome.  A trip that ran off the end of the stage list dropped
+  its alert on the floor (exactly what a missing RetryStage looks like).
+
+:func:`check_farm_equivalence` is the remaining ISSUE invariant: a
+BuddyFarm run must be event-equivalent to the same users run as
+independent MABs.  Channel latencies *do* differ (tenants share the
+farm's channel RNG streams), so equivalence is asserted on
+latency-invariant facts: per-alert outcome kinds and delivered subjects.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.sim.clock import MINUTE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.farm import BuddyFarm
+    from repro.core.pipeline import PipelineContext
+
+#: Journal outcome kinds that explicitly dead-letter an alert: the system
+#: decided, on the record, that the user will not get it.
+DEAD_LETTER_KINDS = frozenset(
+    {"rejected", "unmapped", "filtered", "no_subscribers", "delivery_abandoned"}
+)
+
+
+@dataclass
+class ObservedOutcome:
+    """One completed pipeline trip, as seen by the oracle's observer."""
+
+    user: str
+    alert_id: str
+    subject: str
+    kind: Optional[str]
+    finished: bool
+    at: float
+
+
+@dataclass
+class Violation:
+    """One invariant breach (``invariant`` names which)."""
+
+    invariant: str
+    detail: str
+    user: Optional[str] = None
+    alert_id: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = f" [{self.user}]" if self.user else ""
+        return f"{self.invariant}{where}: {self.detail}"
+
+
+@dataclass
+class OracleReport:
+    """Everything the oracle concluded about one run."""
+
+    checked: dict[str, int] = field(default_factory=dict)
+    violations: list[Violation] = field(default_factory=list)
+    #: Legal-but-notable counters (late acks, unsolicited acks, duplicates
+    #: discarded at the user) — reported, never asserted on.
+    info: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        checked = ", ".join(f"{k}={v}" for k, v in sorted(self.checked.items()))
+        if self.ok:
+            return f"oracle OK ({checked})"
+        lines = [f"oracle FAILED: {len(self.violations)} violation(s) ({checked})"]
+        lines.extend(f"  - {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+class DeliveryOracle:
+    """Observes pipeline outcomes during a run, audits invariants after it."""
+
+    def __init__(self):
+        self.observed: list[ObservedOutcome] = []
+
+    # ------------------------------------------------------------------
+    # Live capture
+    # ------------------------------------------------------------------
+
+    def observer_for(self, user: str) -> Callable[["PipelineContext"], None]:
+        """A ``BuddyConfig.pipeline_observer`` recording this user's trips."""
+
+        def observe(ctx: "PipelineContext") -> None:
+            self.observed.append(
+                ObservedOutcome(
+                    user=user,
+                    alert_id=ctx.alert.alert_id,
+                    subject=ctx.alert.subject,
+                    kind=ctx.outcome_kind,
+                    finished=ctx.finished,
+                    at=ctx.env.now,
+                )
+            )
+
+        return observe
+
+    def outcomes_by_user(self) -> dict[str, dict[str, list[ObservedOutcome]]]:
+        """user → alert_id → trips, in observation order."""
+        table: dict[str, dict[str, list[ObservedOutcome]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        for obs in self.observed:
+            table[obs.user][obs.alert_id].append(obs)
+        return table
+
+    # ------------------------------------------------------------------
+    # Post-run audit
+    # ------------------------------------------------------------------
+
+    def check(
+        self,
+        farm: "BuddyFarm",
+        offered: Optional[dict[str, set[str]]] = None,
+        source_endpoints: Iterable = (),
+    ) -> OracleReport:
+        """Audit every invariant against a quiesced farm.
+
+        ``offered`` maps tenant name to the alert ids the workload addressed
+        to that tenant — required for the tenant-isolation check, optional
+        otherwise.
+        """
+        report = OracleReport()
+        by_user = self.outcomes_by_user()
+        report.checked["tenants"] = len(farm)
+        report.checked["observations"] = len(self.observed)
+        alerts_checked = 0
+        log_entries = 0
+        late_acks = 0
+        unsolicited_acks = 0
+        user_duplicates = 0
+
+        for tenant in farm:
+            name = tenant.name
+            delivered = tenant.user.unique_alerts_received()
+            per_alert = by_user.get(name, {})
+            alerts_checked += len(per_alert)
+            user_duplicates += tenant.user.duplicates_discarded()
+
+            for alert_id, trips in per_alert.items():
+                kinds = [t.kind for t in trips]
+                # pipeline-terminal: a trip must end with an outcome.
+                for trip in trips:
+                    if not trip.finished or trip.kind is None:
+                        report.violations.append(
+                            Violation(
+                                "pipeline_terminal",
+                                f"trip at t={trip.at:.1f} ended without an "
+                                "outcome (alert dropped by the stage list)",
+                                user=name,
+                                alert_id=alert_id,
+                            )
+                        )
+                # exactly-once: one terminal routed trip per alert.
+                routed_trips = sum(1 for k in kinds if k == "routed")
+                if routed_trips > 1:
+                    report.violations.append(
+                        Violation(
+                            "exactly_once",
+                            f"{routed_trips} terminal 'routed' trips",
+                            user=name,
+                            alert_id=alert_id,
+                        )
+                    )
+                # delivered-or-dead-letter.
+                if alert_id in delivered:
+                    continue
+                if any(k in DEAD_LETTER_KINDS for k in kinds):
+                    continue
+                report.violations.append(
+                    Violation(
+                        "delivered_or_dead_letter",
+                        f"accepted alert never reached the user and was "
+                        f"never dead-lettered (outcomes: {kinds})",
+                        user=name,
+                        alert_id=alert_id,
+                    )
+                )
+
+            # tenant-isolation.
+            if offered is not None:
+                foreign = delivered - offered.get(name, set())
+                if foreign:
+                    report.violations.append(
+                        Violation(
+                            "tenant_isolation",
+                            f"received {len(foreign)} alert(s) addressed to "
+                            "other tenants",
+                            user=name,
+                        )
+                    )
+
+            # no-duplicate-acks (MAB side).
+            acks = tenant.deployment.endpoint.engine.acks
+            if acks.duplicate_count:
+                report.violations.append(
+                    Violation(
+                        "no_duplicate_acks",
+                        f"{acks.duplicate_count} duplicate ack(s) at the MAB",
+                        user=name,
+                    )
+                )
+            late_acks += acks.late_count
+            unsolicited_acks += acks.unsolicited_count
+
+            # log-quiescent.
+            pending = tenant.deployment.log.unprocessed()
+            if pending:
+                report.violations.append(
+                    Violation(
+                        "log_quiescent",
+                        f"{len(pending)} unprocessed log entr(ies) after "
+                        "settle",
+                        user=name,
+                    )
+                )
+
+            # replay-idempotent.
+            journal = tenant.deployment.journal
+            for entry in tenant.deployment.log.entries():
+                log_entries += 1
+                if not entry.processed:
+                    continue  # already a log_quiescent violation
+                if entry.alert_id in journal.routed_ids:
+                    continue  # replay would hit the duplicate-incoming guard
+                kinds = [t.kind for t in per_alert.get(entry.alert_id, [])]
+                if any(k in DEAD_LETTER_KINDS for k in kinds):
+                    continue  # replay would deterministically dead-letter
+                report.violations.append(
+                    Violation(
+                        "replay_idempotent",
+                        "processed log entry is neither in routed_ids nor "
+                        f"dead-lettered (outcomes: {kinds})",
+                        user=name,
+                        alert_id=entry.alert_id,
+                    )
+                )
+
+        # no-duplicate-acks (source side: sources wait on MAB acks).
+        for endpoint in source_endpoints:
+            acks = endpoint.engine.acks
+            if acks.duplicate_count:
+                report.violations.append(
+                    Violation(
+                        "no_duplicate_acks",
+                        f"{acks.duplicate_count} duplicate ack(s) at source "
+                        f"{endpoint.name}",
+                    )
+                )
+            late_acks += acks.late_count
+            unsolicited_acks += acks.unsolicited_count
+
+        report.checked["alerts"] = alerts_checked
+        report.checked["log_entries"] = log_entries
+        report.info["late_acks"] = late_acks
+        report.info["unsolicited_acks"] = unsolicited_acks
+        report.info["user_duplicates_discarded"] = user_duplicates
+        return report
+
+
+# ----------------------------------------------------------------------
+# Farm-vs-solo event equivalence
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class EquivalenceReport:
+    """Did a farm run match the same users run as independent MABs?"""
+
+    users: int
+    mismatches: list[str] = field(default_factory=list)
+    farm_outcomes: dict[str, dict[str, tuple]] = field(default_factory=dict)
+    solo_outcomes: dict[str, dict[str, tuple]] = field(default_factory=dict)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.mismatches
+
+
+#: The scripted keyword cycle: routed, unmapped, no_subscribers, rejected.
+_SCRIPT_KEYWORDS = ("News", "Gossip", "Weather", "News")
+
+
+def _configure_deployment(deployment, user) -> None:
+    """Identical per-user configuration for farm and solo worlds."""
+    config = deployment.config
+    config.classifier.accept_source("portal")
+    # A mapped category nobody subscribes to → deterministic no_subscribers.
+    config.subscriptions.register_category("Weather")
+    config.aggregator.map_keyword("Weather", "Weather")
+
+
+def _scripted_emission(env, source, stranger, books, alerts_per_user: int):
+    """Emit the same per-user script in either world (generator process).
+
+    ``books`` maps user name → source-facing address book.  Every 4th alert
+    comes from the unaccepted ``stranger`` source → ``rejected``.
+    """
+    sent: dict[str, dict[str, str]] = {name: {} for name in books}
+    for index in range(alerts_per_user):
+        keyword = _SCRIPT_KEYWORDS[index % len(_SCRIPT_KEYWORDS)]
+        emitter = stranger if index % 4 == 3 else source
+        for name, book in books.items():
+            alert, _ = emitter.emit_to(book, keyword, f"a{index}", "body")
+            sent[name][alert.alert_id] = alert.subject
+        yield env.timeout(20.0)
+    return sent
+
+
+def _final_outcomes(
+    oracle: DeliveryOracle, name: str, id_to_subject: dict[str, str]
+) -> dict[str, tuple]:
+    """subject → sorted tuple of outcome kinds for one user."""
+    result: dict[str, tuple] = {}
+    for alert_id, trips in oracle.outcomes_by_user().get(name, {}).items():
+        subject = id_to_subject.get(alert_id, alert_id)
+        result[subject] = tuple(sorted(t.kind or "(none)" for t in trips))
+    return result
+
+
+def _delivered_subjects(user, id_to_subject: dict[str, str]) -> set[str]:
+    return {
+        id_to_subject.get(alert_id, alert_id)
+        for alert_id in user.unique_alerts_received()
+    }
+
+
+def check_farm_equivalence(
+    n_users: int = 3,
+    seed: int = 7,
+    alerts_per_user: int = 8,
+    settle: float = 3 * MINUTE,
+) -> EquivalenceReport:
+    """Run one scripted workload farm-wide and solo, compare per-user events.
+
+    Determinism by name-keyed RNG streams makes this meaningful: user
+    ``user0``'s reaction/buddy streams are identical in both worlds, so any
+    divergence in outcome kinds or delivered subjects is a farm bug, not
+    noise.  Channel latency streams *are* shared farm-wide, so wall-clock
+    timings legitimately differ and are not compared.
+    """
+    from repro.core.farm import FarmProfile
+    from repro.world import SimbaWorld, WorldConfig
+
+    horizon = alerts_per_user * 20.0 + settle
+    report = EquivalenceReport(users=n_users)
+
+    # --- farm world -----------------------------------------------------
+    world = SimbaWorld(WorldConfig(seed=seed, email_loss=0.0, sms_loss=0.0))
+    farm = world.create_farm(
+        shards=4,
+        profile=FarmProfile(categories=("News",), accept_sources=("portal",)),
+    )
+    tenants = farm.add_users(n_users)
+    farm_oracle = DeliveryOracle()
+    for tenant in tenants:
+        _configure_deployment(tenant.deployment, tenant.user)
+        tenant.deployment.config.pipeline_observer = farm_oracle.observer_for(
+            tenant.name
+        )
+    farm.launch_all()
+    source = world.create_source("portal")
+    stranger = world.create_source("stranger")
+    books = {tenant.name: tenant.book for tenant in tenants}
+    farm_sent: dict[str, dict[str, str]] = {}
+
+    def farm_script(env):
+        sent = yield from _scripted_emission(
+            env, source, stranger, books, alerts_per_user
+        )
+        farm_sent.update(sent)
+
+    world.env.process(farm_script(world.env), name="equivalence-script")
+    world.run(until=horizon)
+
+    for tenant in tenants:
+        report.farm_outcomes[tenant.name] = _final_outcomes(
+            farm_oracle, tenant.name, farm_sent.get(tenant.name, {})
+        )
+
+    farm_delivered = {
+        tenant.name: _delivered_subjects(
+            tenant.user, farm_sent.get(tenant.name, {})
+        )
+        for tenant in tenants
+    }
+
+    # --- one solo world per user ---------------------------------------
+    for index in range(n_users):
+        name = f"user{index}"
+        solo = SimbaWorld(WorldConfig(seed=seed, email_loss=0.0, sms_loss=0.0))
+        user = solo.create_user(name)
+        deployment = solo.create_buddy(user)
+        deployment.register_user_endpoint(user)
+        deployment.subscribe("News", user, "normal", keywords=["News"])
+        _configure_deployment(deployment, user)
+        solo_oracle = DeliveryOracle()
+        deployment.config.pipeline_observer = solo_oracle.observer_for(name)
+        deployment.launch()
+        solo_source = solo.create_source("portal")
+        solo_stranger = solo.create_source("stranger")
+        solo_books = {name: deployment.source_facing_book()}
+        solo_sent: dict[str, dict[str, str]] = {}
+
+        def solo_script(env, src=solo_source, strg=solo_stranger,
+                        bks=solo_books, out=solo_sent):
+            sent = yield from _scripted_emission(
+                env, src, strg, bks, alerts_per_user
+            )
+            out.update(sent)
+
+        solo.env.process(solo_script(solo.env), name="equivalence-script")
+        solo.run(until=horizon)
+
+        solo_final = _final_outcomes(solo_oracle, name, solo_sent.get(name, {}))
+        report.solo_outcomes[name] = solo_final
+        if solo_final != report.farm_outcomes.get(name):
+            report.mismatches.append(
+                f"{name}: outcome kinds differ — farm "
+                f"{report.farm_outcomes.get(name)} vs solo {solo_final}"
+            )
+        solo_delivered = _delivered_subjects(user, solo_sent.get(name, {}))
+        if solo_delivered != farm_delivered.get(name):
+            report.mismatches.append(
+                f"{name}: delivered subjects differ — farm "
+                f"{sorted(farm_delivered.get(name, set()))} vs solo "
+                f"{sorted(solo_delivered)}"
+            )
+    return report

@@ -1,0 +1,149 @@
+"""Serialize fault schedules and shrunk reproducers as JSON.
+
+A failing chaos trial is only useful if it can be *pinned*: the shrunk
+schedule plus the harness seed and parameters are written to a small JSON
+file, committed under ``tests/data/chaos/``, and replayed forever after as
+a regression test.  The format is deliberately plain — kind values (the
+enum's string), floats, and the params dict — so pinned files stay
+readable in review diffs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigurationError
+from repro.sim.failures import FaultKind, ScheduledFault
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.testkit.harness import ChaosReport
+
+FORMAT_VERSION = 1
+
+
+def fault_to_dict(fault: ScheduledFault) -> dict[str, Any]:
+    """Plain-JSON form of one fault."""
+    row: dict[str, Any] = {
+        "at": fault.at,
+        "kind": fault.kind.value,
+        "target": fault.target,
+    }
+    if fault.duration:
+        row["duration"] = fault.duration
+    if fault.params:
+        row["params"] = dict(fault.params)
+    return row
+
+
+def fault_from_dict(row: dict[str, Any]) -> ScheduledFault:
+    """Inverse of :func:`fault_to_dict` (raises on unknown kinds)."""
+    try:
+        kind = FaultKind(row["kind"])
+    except ValueError as exc:
+        raise ConfigurationError(f"unknown fault kind {row['kind']!r}") from exc
+    return ScheduledFault(
+        at=float(row["at"]),
+        kind=kind,
+        target=str(row["target"]),
+        duration=float(row.get("duration", 0.0)),
+        params=dict(row.get("params", {})),
+    )
+
+
+def schedule_to_json(schedule: list[ScheduledFault], indent: int | None = 1) -> str:
+    """Byte-stable JSON for a whole schedule."""
+    return json.dumps(
+        [fault_to_dict(f) for f in schedule], indent=indent, sort_keys=True
+    )
+
+
+def schedule_from_json(text: str) -> list[ScheduledFault]:
+    return [fault_from_dict(row) for row in json.loads(text)]
+
+
+@dataclass
+class Reproducer:
+    """A pinned failing (or formerly failing) chaos scenario.
+
+    ``violations`` records what the oracle reported when the reproducer
+    was captured; a regression replay against the *fixed* pipeline must
+    report none.
+    """
+
+    seed: int
+    schedule: list[ScheduledFault]
+    config: dict[str, Any] = field(default_factory=dict)
+    note: str = ""
+    violations: list[str] = field(default_factory=list)
+    version: int = FORMAT_VERSION
+
+    def to_json(self) -> str:
+        payload = {
+            "version": self.version,
+            "seed": self.seed,
+            "note": self.note,
+            "config": self.config,
+            "violations": list(self.violations),
+            "schedule": [fault_to_dict(f) for f in self.schedule],
+        }
+        return json.dumps(payload, indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Reproducer":
+        payload = json.loads(text)
+        return cls(
+            seed=int(payload["seed"]),
+            schedule=[fault_from_dict(r) for r in payload["schedule"]],
+            config=dict(payload.get("config", {})),
+            note=str(payload.get("note", "")),
+            violations=list(payload.get("violations", [])),
+            version=int(payload.get("version", FORMAT_VERSION)),
+        )
+
+
+def dump_reproducer(reproducer: Reproducer, path: str | Path) -> Path:
+    """Write a reproducer JSON file (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(reproducer.to_json() + "\n")
+    return path
+
+
+def load_reproducer(path: str | Path) -> Reproducer:
+    return Reproducer.from_json(Path(path).read_text())
+
+
+def make_reproducer(
+    report: "ChaosReport",
+    schedule: list[ScheduledFault],
+    note: str = "",
+) -> Reproducer:
+    """Capture a run's seed/config plus ``schedule`` (usually the shrunk one)."""
+    config = asdict(report.config)
+    return Reproducer(
+        seed=report.config.seed,
+        schedule=list(schedule),
+        config=config,
+        note=note,
+        violations=[v.invariant for v in report.oracle.violations],
+    )
+
+
+def replay_reproducer(path: str | Path, stage_factory=None) -> "ChaosReport":
+    """Re-run a pinned scenario against the current pipeline.
+
+    ``stage_factory`` re-injects a deliberately broken pipeline (to prove a
+    pinned schedule still has teeth); None replays against the real stages,
+    which is the regression direction CI runs.
+    """
+    from repro.testkit.harness import ChaosRunConfig, run_chaos
+
+    reproducer = load_reproducer(path)
+    known = {f.name for f in ChaosRunConfig.__dataclass_fields__.values()}
+    config = ChaosRunConfig(
+        **{k: v for k, v in reproducer.config.items() if k in known}
+    )
+    return run_chaos(reproducer.schedule, config, stage_factory=stage_factory)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.sim.clock import DAY, MINUTE
 from repro.sim.failures import FaultKind, ScheduledFault
 
@@ -24,6 +25,7 @@ MONTH = 30 * DAY
 
 #: Standard injection-target names used by the fault-tolerance harness.
 TARGET_IM_SERVICE = "im-service"
+TARGET_EMAIL_SERVICE = "email-service"
 TARGET_IM_CLIENT = "im-client"
 TARGET_MAB = "mab"
 TARGET_HOST = "host"
@@ -89,10 +91,18 @@ def generate_month_faultload(
     """A reproducible fault schedule with the spec's category mix.
 
     Faults are spread uniformly over ``[start, start + spec.duration)``;
-    a one-day head start leaves the system a quiet burn-in period.
+    a one-day head start leaves the system a quiet burn-in period.  A
+    zero-duration month degenerates to every fault firing at ``start``;
+    since :func:`sorted` is stable, equal-timestamp faults keep the
+    generation order (outages, logouts, hangs, MAB faults, dialogs,
+    power, leaks) — schedules are ordering-stable under ties.
     """
     if spec is None:
         spec = paper_faultload_spec()
+    if spec.duration < 0:
+        raise ConfigurationError(
+            f"faultload duration must be >= 0, got {spec.duration!r}"
+        )
     faults: list[ScheduledFault] = []
 
     def when() -> float:

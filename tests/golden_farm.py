@@ -1,0 +1,115 @@
+"""Fixed-seed 20-user farm scenario for the determinism golden test.
+
+Farm-level counterpart of :mod:`tests.golden_scenario`: one
+:class:`~repro.core.farm.BuddyFarm` with 20 tenants runs a scripted
+workload that exercises routed, unmapped, rejected and duplicate outcomes
+plus a crash + recovery replay on one tenant — then every tenant's journal
+is serialized in a byte-stable form.  Any nondeterminism anywhere in the
+farm stack (shard RNG naming, pipeline ordering, watchdog timing) shows up
+as a diff against ``tests/data/golden_farm_seed.json``.
+
+``python -m tests.golden_farm`` regenerates the golden file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_FARM_PATH = Path(__file__).parent / "data" / "golden_farm_seed.json"
+N_USERS = 20
+SEED = 2027
+
+
+def run_golden_farm():
+    """Build and run the scenario; returns the farm (world has quiesced)."""
+    from repro.core.farm import FarmProfile
+    from repro.world import SimbaWorld, WorldConfig
+
+    world = SimbaWorld(WorldConfig(seed=SEED, email_loss=0.0, sms_loss=0.0))
+    farm = world.create_farm(
+        shards=4,
+        profile=FarmProfile(categories=("News",), accept_sources=("portal",)),
+    )
+    tenants = farm.add_users(N_USERS)
+    source = world.create_source("portal")
+    farm.register_with(source)
+    rogue = world.create_source("rogue")
+    farm.register_with(rogue)
+    farm.launch_all()
+
+    def driver(env):
+        yield env.timeout(60.0)
+        # Round 1: every tenant routes one alert.
+        for tenant in tenants:
+            source.emit_to(tenant.book, "News", f"r1-{tenant.name}", "b")
+            yield env.timeout(2.0)
+        # The §4.2 non-happy branches, spread over a few tenants.
+        source.emit_to(tenants[0].book, "Gossip", "unmapped-0", "b")  # unmapped
+        rogue.emit_to(tenants[1].book, "News", "rogue-1", "b")  # rejected
+        alert, _ = source.emit_to(tenants[2].book, "News", "twice-2", "b")
+        world.email.send(  # sender fallback copy: duplicate_incoming
+            "portal@mail", tenants[2].deployment.email_address,
+            alert.subject, alert.encode(), correlation=alert.alert_id,
+        )
+        yield env.timeout(60.0)
+        # Crash tenant 5 right after the log-before-ack write of a fresh
+        # alert but before routing finishes: relaunch must replay it.
+        source.emit_to(tenants[5].book, "News", "replayed-5", "b")
+        yield env.timeout(1.8)
+        buddy = tenants[5].deployment.current
+        if buddy is not None:
+            buddy.crash("golden farm crash")
+        yield env.timeout(58.2)
+        tenants[5].deployment.launch()
+        yield env.timeout(60.0)
+        # Round 2: every tenant routes again (tenant 5 on its second
+        # incarnation).
+        for tenant in tenants:
+            source.emit_to(tenant.book, "News", f"r2-{tenant.name}", "b")
+            yield env.timeout(2.0)
+
+    world.env.process(driver(world.env), name="golden-farm-driver")
+    world.run(until=1500.0)
+    return farm
+
+
+def serialize_farm_journals(farm) -> str:
+    """Byte-stable JSON of every tenant's journal, tenant-index order.
+
+    Alert ids come from a process-global counter, so they are normalized
+    to first-appearance order across the whole farm; timestamps, kinds and
+    details must match exactly.
+    """
+    id_map: dict[str, str] = {}
+
+    def norm(alert_id):
+        if alert_id is None:
+            return None
+        if alert_id not in id_map:
+            id_map[alert_id] = f"A{len(id_map) + 1}"
+        return id_map[alert_id]
+
+    payload = [
+        [
+            tenant.name,
+            [
+                [repr(e.at), e.kind, e.detail, norm(e.alert_id)]
+                for e in tenant.deployment.journal.events
+            ],
+        ]
+        for tenant in farm
+    ]
+    return json.dumps(payload, indent=1)
+
+
+def main() -> None:
+    GOLDEN_FARM_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_FARM_PATH.write_text(
+        serialize_farm_journals(run_golden_farm()) + "\n"
+    )
+    print(f"wrote {GOLDEN_FARM_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Replay pinned chaos reproducers as regression tests.
+
+Every ``tests/data/chaos/*.json`` file is a shrunk failing schedule from a
+past chaos run (seed + schedule + harness config).  The fixed pipeline
+must replay each one clean; the pins keep the bugs the testkit found from
+coming back.  One pin doubles as the shrinker's teeth-check: replayed with
+a deliberately broken RetryStage it must still fail.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.testkit import load_reproducer, replay_reproducer
+from repro.testkit.bugs import silent_drop_stages
+
+CHAOS_DIR = Path(__file__).parent / "data" / "chaos"
+PINNED = sorted(CHAOS_DIR.glob("*.json"))
+
+
+def test_pins_exist():
+    assert len(PINNED) >= 2
+
+
+@pytest.mark.parametrize("path", PINNED, ids=lambda p: p.stem)
+def test_pinned_reproducer_replays_clean(path):
+    report = replay_reproducer(path)
+    assert report.ok, (
+        f"{path.name} regressed: {report.oracle.summary()}"
+    )
+
+
+def test_pins_record_their_original_violations():
+    for path in PINNED:
+        reproducer = load_reproducer(path)
+        assert reproducer.violations, f"{path.name} lost its history"
+        assert reproducer.note
+
+
+def test_fallback_dup_pin_still_exercises_dedup_path():
+    """The dialog pin is only worth keeping while the blocked-ack email
+    fallback actually produces duplicate copies for the guard to drop."""
+    report = replay_reproducer(CHAOS_DIR / "unknown_dialog_fallback_dup.json")
+    assert report.outcome_counts.get("duplicate_incoming", 0) >= 1
+
+
+def test_outage_pin_still_has_teeth():
+    """Replayed against the planted silent-drop bug, the pinned schedule
+    must still trip the oracle — otherwise it no longer guards anything."""
+    report = replay_reproducer(
+        CHAOS_DIR / "total_outage_pair.json", stage_factory=silent_drop_stages
+    )
+    assert not report.ok

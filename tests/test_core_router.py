@@ -258,3 +258,52 @@ class TestOutcomeProperties:
         assert outcome.delivered_via is None
         assert not outcome.blocks[0].succeeded
         assert set(outcome.blocks[0].errors) == {"SMS", "Email"}
+
+
+class TestAckTableClassification:
+    """The counters the chaos oracle's no-duplicate-ACKs invariant reads."""
+
+    def _table(self):
+        from repro.core.router import AckTable
+
+        return AckTable(Environment())
+
+    def test_resolve_satisfies_waiting_expectation(self):
+        table = self._table()
+        table.expect("peer@im", 1)
+        assert table.resolve("peer@im", 1) is True
+        assert table.resolved_count == 1
+        assert len(table) == 0
+
+    def test_second_ack_for_same_conversation_is_duplicate(self):
+        table = self._table()
+        table.expect("peer@im", 1)
+        table.resolve("peer@im", 1)
+        assert table.resolve("peer@im", 1) is False
+        assert table.duplicate_count == 1
+
+    def test_ack_after_cancel_is_late_then_duplicate(self):
+        table = self._table()
+        table.expect("peer@im", 4)
+        table.cancel("peer@im", 4)  # the block timed out and moved on
+        assert table.resolve("peer@im", 4) is False
+        assert table.late_count == 1
+        assert table.resolve("peer@im", 4) is False
+        assert table.duplicate_count == 1
+
+    def test_unsolicited_ack_counted_not_asserted(self):
+        table = self._table()
+        assert table.resolve("stranger@im", 9) is False
+        assert table.unsolicited_count == 1
+        assert table.duplicate_count == 0
+
+    def test_seq_reuse_after_relogin_is_a_fresh_conversation(self):
+        """IM seqs are per-session: re-expecting a key clears stale state."""
+        table = self._table()
+        table.expect("peer@im", 1)
+        table.resolve("peer@im", 1)
+        # Client relogs in; its session seq counter restarts at 1.
+        table.expect("peer@im", 1)
+        assert table.resolve("peer@im", 1) is True
+        assert table.resolved_count == 2
+        assert table.duplicate_count == 0

@@ -226,3 +226,25 @@ class TestPortalSmokeReplay:
         assert sum(
             len(t.deployment.incarnations) for t in farm_large
         ) >= 200
+
+
+class TestFarmGoldenJournal:
+    """Byte-for-byte determinism of a 20-user farm run (fixed seed).
+
+    Farm counterpart of the single-MAB golden test in
+    ``test_core_pipeline.py``; regenerate the golden file with
+    ``python -m tests.golden_farm`` after an intentional behaviour change.
+    """
+
+    def test_20_user_farm_matches_golden_journals(self):
+        from tests.golden_farm import (
+            GOLDEN_FARM_PATH,
+            run_golden_farm,
+            serialize_farm_journals,
+        )
+
+        fresh = serialize_farm_journals(run_golden_farm()) + "\n"
+        assert fresh == GOLDEN_FARM_PATH.read_text(), (
+            "farm journals diverged from tests/data/golden_farm_seed.json; "
+            "if the change is intentional run `python -m tests.golden_farm`"
+        )

@@ -148,3 +148,30 @@ class TestFaultInjector:
         injector.register("im", lambda f: True)
         injector.unregister("im")
         assert injector.inject_now(self._fault()) is False
+
+    def test_load_unregistered_target_raises_up_front(self):
+        from repro.errors import ConfigurationError
+
+        env = Environment()
+        injector = FaultInjector(env)
+        injector.register("im", lambda f: True)
+        with pytest.raises(ConfigurationError) as err:
+            injector.load(
+                [self._fault(), self._fault(at=5.0, target="ghost")]
+            )
+        # The error names what's missing and what IS registered.
+        assert "ghost" in str(err.value)
+        assert "im" in str(err.value)
+        assert injector.records == []  # nothing partially scheduled
+
+    def test_load_allow_unregistered_records_rejections(self):
+        env = Environment()
+        injector = FaultInjector(env)
+        injector.register("im", lambda f: True)
+        injector.load(
+            [self._fault(), self._fault(at=5.0, target="ghost")],
+            allow_unregistered=True,
+        )
+        env.run()
+        assert [r.accepted for r in injector.records] == [True, False]
+        assert injector.records[1].detail == "no handler"

@@ -1,0 +1,260 @@
+"""Unit tests for the chaos testkit's pure parts.
+
+Generator determinism and taxonomy coverage, schedule/reproducer JSON
+round-trips, and the ddmin shrinker against synthetic predicates.  No
+simulation runs here — the harness/oracle integration lives in
+``test_chaos_oracle.py`` and ``test_chaos_smoke.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import HOUR
+from repro.sim.failures import FaultKind, ScheduledFault
+from repro.testkit import (
+    ChaosIntensity,
+    FaultScheduleGenerator,
+    Reproducer,
+    ShrinkResult,
+    dump_reproducer,
+    fault_from_dict,
+    fault_to_dict,
+    load_reproducer,
+    schedule_from_json,
+    schedule_to_json,
+    shrink,
+)
+from repro.testkit.generator import PER_USER_KINDS, per_user_target
+from repro.testkit.sweep import trial_seed
+from repro.workloads.faultload import (
+    TARGET_EMAIL_SERVICE,
+    TARGET_HOST,
+    TARGET_IM_SERVICE,
+    TARGET_SCREEN,
+)
+
+USERS = ["user0", "user1", "user2"]
+
+
+class TestChaosIntensity:
+    def test_defaults_valid(self):
+        ChaosIntensity()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"faults_per_hour": -1.0},
+            {"burst_probability": 1.5},
+            {"burst_probability": -0.1},
+            {"burst_max": 0},
+            {"recovery_chaser_probability": 2.0},
+        ],
+    )
+    def test_invalid_parameters_raise(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ChaosIntensity(**kwargs)
+
+
+class TestFaultScheduleGenerator:
+    def test_same_seed_identical_schedule(self):
+        a = FaultScheduleGenerator(seed=42, users=USERS).generate()
+        b = FaultScheduleGenerator(seed=42, users=USERS).generate()
+        assert schedule_to_json(a) == schedule_to_json(b)
+
+    def test_different_seeds_differ(self):
+        a = FaultScheduleGenerator(seed=1, users=USERS).generate()
+        b = FaultScheduleGenerator(seed=2, users=USERS).generate()
+        assert schedule_to_json(a) != schedule_to_json(b)
+
+    def test_schedule_sorted_and_after_start(self):
+        gen = FaultScheduleGenerator(seed=3, users=USERS, start=300.0)
+        schedule = gen.generate()
+        assert schedule
+        times = [f.at for f in schedule]
+        assert times == sorted(times)
+        assert all(t >= 300.0 for t in times)
+
+    def test_full_taxonomy_reachable(self):
+        """Every FaultKind appears somewhere across a few seeds."""
+        intensity = ChaosIntensity(faults_per_hour=60.0)
+        seen = set()
+        for seed in range(12):
+            gen = FaultScheduleGenerator(
+                seed=seed, users=USERS, duration=2 * HOUR, intensity=intensity
+            )
+            seen.update(f.kind for f in gen.generate())
+        assert seen == set(FaultKind)
+
+    def test_targets_are_wireable(self):
+        """Every emitted target is one the harness registers a handler for."""
+        global_targets = {
+            TARGET_IM_SERVICE, TARGET_EMAIL_SERVICE, TARGET_HOST, TARGET_SCREEN,
+        }
+        per_user = {
+            per_user_target(kind, user)
+            for kind in PER_USER_KINDS
+            for user in USERS
+        }
+        intensity = ChaosIntensity(faults_per_hour=40.0)
+        for seed in range(5):
+            gen = FaultScheduleGenerator(
+                seed=seed, users=USERS, intensity=intensity
+            )
+            for fault in gen.generate():
+                assert fault.target in global_targets | per_user
+
+    def test_bursts_stack_compound_faults(self):
+        intensity = ChaosIntensity(
+            faults_per_hour=20.0, burst_probability=1.0, burst_max=3
+        )
+        gen = FaultScheduleGenerator(seed=7, users=USERS, intensity=intensity)
+        schedule = gen.generate()
+        gaps = [
+            b.at - a.at for a, b in zip(schedule, schedule[1:])
+        ]
+        # Every base fault seeds a burst within 45 s, so tight gaps dominate.
+        assert any(g <= intensity.burst_window for g in gaps)
+
+    def test_intensity_scales_volume(self):
+        quiet = FaultScheduleGenerator(
+            seed=9, users=USERS,
+            intensity=ChaosIntensity(faults_per_hour=2.0),
+        ).generate()
+        loud = FaultScheduleGenerator(
+            seed=9, users=USERS,
+            intensity=ChaosIntensity(faults_per_hour=40.0),
+        ).generate()
+        assert len(loud) > len(quiet)
+
+    def test_window_end_covers_durations(self):
+        gen = FaultScheduleGenerator(seed=5, users=USERS)
+        schedule = [
+            ScheduledFault(at=100.0, kind=FaultKind.IM_SERVICE_OUTAGE,
+                           target=TARGET_IM_SERVICE, duration=600.0),
+            ScheduledFault(at=500.0, kind=FaultKind.CLIENT_LOGOUT,
+                           target="im-client:user0"),
+        ]
+        assert gen.window_end(schedule) == 700.0
+        assert gen.window_end([]) == gen.start
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultScheduleGenerator(seed=0, users=[])
+        with pytest.raises(ConfigurationError):
+            FaultScheduleGenerator(seed=0, users=USERS, duration=0.0)
+
+    def test_trial_seed_decorrelated_and_stable(self):
+        assert trial_seed(11, 0) == trial_seed(11, 0)
+        seeds = {trial_seed(11, i) for i in range(50)}
+        assert len(seeds) == 50
+
+
+class TestScheduleSerialization:
+    def _fault(self):
+        return ScheduledFault(
+            at=120.5,
+            kind=FaultKind.MEMORY_LEAK,
+            target="mab:user1",
+            params={"megabytes": 250.0},
+        )
+
+    def test_fault_round_trip(self):
+        fault = self._fault()
+        assert fault_from_dict(fault_to_dict(fault)) == fault
+
+    def test_schedule_round_trip(self):
+        schedule = FaultScheduleGenerator(seed=21, users=USERS).generate()
+        assert schedule_from_json(schedule_to_json(schedule)) == schedule
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ConfigurationError):
+            fault_from_dict({"at": 0.0, "kind": "gamma_ray", "target": "host"})
+
+    def test_reproducer_round_trip(self, tmp_path):
+        reproducer = Reproducer(
+            seed=1234,
+            schedule=[self._fault()],
+            config={"seed": 1234, "n_users": 2},
+            note="unit-test pin",
+            violations=["exactly_once"],
+        )
+        path = dump_reproducer(reproducer, tmp_path / "pin" / "repro.json")
+        assert path.exists()
+        loaded = load_reproducer(path)
+        assert loaded == reproducer
+        # The on-disk form is plain reviewable JSON.
+        payload = json.loads(path.read_text())
+        assert payload["schedule"][0]["kind"] == "memory_leak"
+
+
+def _make_schedule(n):
+    return [
+        ScheduledFault(
+            at=float(60 * (i + 1)),
+            kind=FaultKind.CLIENT_LOGOUT,
+            target=f"im-client:user{i % 3}",
+        )
+        for i in range(n)
+    ]
+
+
+class TestShrink:
+    def test_reduces_to_essential_pair(self):
+        schedule = _make_schedule(12)
+        essential = [schedule[3], schedule[9]]
+
+        def fails(candidate):
+            return all(f in candidate for f in essential)
+
+        result = shrink(schedule, fails)
+        assert result.schedule == essential
+        assert result.minimal
+        assert result.removed == 10
+        assert result.steps[-1] == 2
+
+    def test_single_essential_fault(self):
+        schedule = _make_schedule(8)
+        target = schedule[5]
+        result = shrink(schedule, lambda c: target in c)
+        assert result.schedule == [target]
+        assert result.minimal
+
+    def test_everything_essential_is_untouched(self):
+        schedule = _make_schedule(4)
+        result = shrink(schedule, lambda c: len(c) == 4)
+        assert result.schedule == schedule
+        assert result.minimal
+        assert result.removed == 0
+
+    def test_budget_exhaustion_reported(self):
+        schedule = _make_schedule(30)
+        essential = [schedule[7], schedule[23]]
+        calls = []
+
+        def fails(candidate):
+            calls.append(len(candidate))
+            return all(f in candidate for f in essential)
+
+        result = shrink(schedule, fails, max_trials=3)
+        assert result.trials == 3
+        assert len(calls) == 3
+        assert not result.minimal
+        assert all(f in result.schedule for f in essential)
+
+    def test_preserves_relative_order(self):
+        schedule = _make_schedule(10)
+        essential = [schedule[2], schedule[6], schedule[8]]
+        result = shrink(
+            schedule, lambda c: all(f in c for f in essential)
+        )
+        times = [f.at for f in result.schedule]
+        assert times == sorted(times)
+
+    def test_result_dataclass_accounting(self):
+        result = ShrinkResult(
+            schedule=_make_schedule(2), original_size=9, trials=5,
+            minimal=True, steps=[5, 2],
+        )
+        assert result.removed == 7

@@ -190,3 +190,60 @@ class TestFaultload:
         faults = generate_month_faultload(rng(14), spec)
         assert len(faults) == spec.total_faults()
         assert all(f.at >= 0 and f.duration >= 0 for f in faults)
+
+
+class TestFaultloadEdgeCases:
+    def test_zero_duration_month_degenerates_to_start(self):
+        spec = FaultloadSpec(duration=0.0)
+        faults = generate_month_faultload(rng(20), spec, start=DAY)
+        assert len(faults) == spec.total_faults()
+        assert all(f.at == DAY for f in faults)
+
+    def test_equal_timestamps_keep_generation_order(self):
+        """sorted() is stable, so an all-ties schedule preserves the
+        category generation order — schedules are ordering-stable."""
+        spec = FaultloadSpec(duration=0.0)
+        faults = generate_month_faultload(rng(21), spec)
+        kinds = [f.kind for f in faults]
+        # Category blocks appear in generation order.
+        expected_blocks = [
+            (FaultKind.IM_SERVICE_OUTAGE,) * spec.im_outages,
+            (FaultKind.CLIENT_LOGOUT,) * spec.client_logouts,
+            (FaultKind.CLIENT_HANG,) * spec.client_hangs,
+        ]
+        offset = 0
+        for block in expected_blocks:
+            assert tuple(kinds[offset:offset + len(block)]) == block
+            offset += len(block)
+        # The MAB block mixes crash/hang draws but stays contiguous.
+        mab = kinds[offset:offset + spec.mab_faults]
+        assert set(mab) <= {FaultKind.PROCESS_CRASH, FaultKind.PROCESS_HANG}
+        # Two identically seeded generations agree exactly despite ties.
+        again = generate_month_faultload(rng(21), spec)
+        assert faults == again
+
+    def test_negative_duration_raises(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            generate_month_faultload(rng(22), FaultloadSpec(duration=-1.0))
+
+    def test_overlapping_compound_faults_are_preserved(self):
+        """Cramming the month's outages into a tiny window forces their
+        active windows to overlap; the generator must keep every fault
+        (no merging or dropping) and stay time-sorted."""
+        spec = FaultloadSpec(duration=10 * MINUTE)
+        faults = generate_month_faultload(rng(23), spec)
+        assert len(faults) == spec.total_faults()
+        times = [f.at for f in faults]
+        assert times == sorted(times)
+        outages = [
+            f for f in faults if f.kind is FaultKind.IM_SERVICE_OUTAGE
+        ]
+        overlaps = [
+            (a, b)
+            for i, a in enumerate(outages)
+            for b in outages[i + 1:]
+            if a.at < b.at + b.duration and b.at < a.at + a.duration
+        ]
+        assert overlaps, "expected compound (overlapping) outages"
