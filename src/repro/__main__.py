@@ -164,6 +164,14 @@ def _e10(seed: int) -> str:
     return sweep_report(result.sweep)
 
 
+def _e11(seed: int) -> str:
+    from repro.experiments import run_failover_comparison
+    from repro.metrics import failover_report
+
+    result = run_failover_comparison(seed=seed)
+    return failover_report(result)
+
+
 EXPERIMENTS = {
     "e1": ("one-way IM < 1 s", _e1),
     "e2": ("logged ack ~1.5 s", _e2),
@@ -175,6 +183,7 @@ EXPERIMENTS = {
     "e8": ("SIMBA vs baselines", _e8),
     "e9": ("HA ablation (slow)", _e9),
     "e10": ("chaos sweep (oracle-checked)", _e10),
+    "e11": ("warm-standby failover vs MDC-only", _e11),
 }
 
 
@@ -185,7 +194,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e10), 'all' (e1-e8), or 'list'",
+        help="experiment id (e1..e11), 'all' (e1-e8), or 'list'",
     )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)

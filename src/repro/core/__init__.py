@@ -46,6 +46,15 @@ from repro.core.pipeline import (
     SourceDeliveryPipeline,
 )
 from repro.core.rejuvenation import RejuvenationPolicy
+from repro.core.replication import (
+    EpochAudit,
+    FailoverController,
+    FencingService,
+    PairSide,
+    ReplicaRole,
+    ReplicatedPair,
+    build_pair,
+)
 from repro.core.router import BlockOutcome, DeliveryEngine, DeliveryOutcome
 from repro.core.stabilizer import SelfStabilizer
 from repro.core.subscription import Subscription, SubscriptionLayer
@@ -68,9 +77,12 @@ __all__ = [
     "DeliveryMode",
     "DeliveryOutcome",
     "EmailManager",
+    "EpochAudit",
     "ExtractionRule",
+    "FailoverController",
     "FarmProfile",
     "FarmTenant",
+    "FencingService",
     "FilterDecision",
     "FilterPolicy",
     "FilterStage",
@@ -80,10 +92,13 @@ __all__ = [
     "MasterDaemonController",
     "MonkeyThread",
     "MyAlertBuddy",
+    "PairSide",
     "PessimisticLog",
     "PipelineContext",
     "PipelineStage",
     "RejuvenationPolicy",
+    "ReplicaRole",
+    "ReplicatedPair",
     "RetryStage",
     "RouteStage",
     "SMSManager",
@@ -95,4 +110,5 @@ __all__ = [
     "TimeWindow",
     "UserAddress",
     "UserEndpoint",
+    "build_pair",
 ]

@@ -63,18 +63,37 @@ class IncomingAlert:
     retry_users: Optional[frozenset[str]] = None
 
 
-def make_ack_body(seq: int) -> str:
-    return f"{ACK_PREFIX} {seq}"
+def make_ack_body(seq: int, epoch: Optional[int] = None) -> str:
+    """``SIMBA-ACK <seq>``, optionally stamped with the acking side's
+    fencing epoch (``SIMBA-ACK <seq> epoch=<n>``) so a replicated pair's
+    acks are attributable in forensics."""
+    if epoch is None:
+        return f"{ACK_PREFIX} {seq}"
+    return f"{ACK_PREFIX} {seq} epoch={epoch}"
 
 
 def parse_ack_body(body: str) -> Optional[int]:
     """Return the acknowledged seq, or None if ``body`` is not an ack."""
     if not body.startswith(ACK_PREFIX):
         return None
+    fields = body[len(ACK_PREFIX):].split()
+    if not fields:
+        return None
     try:
-        return int(body[len(ACK_PREFIX):].strip())
+        return int(fields[0])
     except ValueError:
         return None
+
+
+def parse_ack_epoch(body: str) -> Optional[int]:
+    """The fencing epoch stamped into an ack, if any."""
+    for token in body.split():
+        if token.startswith("epoch="):
+            try:
+                return int(token[len("epoch="):])
+            except ValueError:
+                return None
+    return None
 
 
 class SimbaEndpoint:
@@ -104,6 +123,12 @@ class SimbaEndpoint:
         self.auto_ack = auto_ack
         self.pre_ack_hook = pre_ack_hook
         self.command_handler = command_handler
+        #: Replication fencing hook: called with the IncomingAlert after the
+        #: pre-ack log write; returning False suppresses both the ack and
+        #: the enqueue (a fenced side must go silent, not double-route).
+        self.ack_guard: Optional[Callable[[IncomingAlert], bool]] = None
+        #: When set, outgoing acks are stamped with this fencing epoch.
+        self.epoch_provider: Optional[Callable[[], int]] = None
 
         im_service.register_account(im_address)
         self.im_client = IMClient(
@@ -272,10 +297,23 @@ class SimbaEndpoint:
         )
         if self.pre_ack_hook is not None:
             yield from self.pre_ack_hook(incoming)
+        if self.ack_guard is not None and not self.ack_guard(incoming):
+            # Fenced: no ack (the sender falls back and the active side
+            # receives the copy) and no enqueue.  The pre-ack log write
+            # above stays local and is handed over by reconciliation.
+            return
         if self.auto_ack and via is ChannelType.IM and seq is not None:
+            epoch = (
+                self.epoch_provider()
+                if self.epoch_provider is not None
+                else None
+            )
             try:
                 self.im_manager.submit(
-                    sender, "", make_ack_body(seq), correlation=alert.alert_id
+                    sender,
+                    "",
+                    make_ack_body(seq, epoch),
+                    correlation=alert.alert_id,
                 )
             except (AutomationError, ChannelError):
                 # Could not ack: the sender will fall back to email and the

@@ -39,6 +39,8 @@ from typing import TYPE_CHECKING, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.addresses import AddressBook
+    from repro.core.host import Host
+    from repro.core.replication import ReplicatedPair
     from repro.core.user_endpoint import Receipt, UserEndpoint
     from repro.core.watchdog import MasterDaemonController
     from repro.world import BuddyDeployment, SimbaWorld
@@ -82,6 +84,9 @@ class FarmTenant:
     #: Set by :meth:`BuddyFarm.start_watchdogs` — None under plain
     #: :meth:`BuddyFarm.launch_all`.
     mdc: Optional["MasterDaemonController"] = field(repr=False, default=None)
+    #: Set by :meth:`BuddyFarm.enable_replication` — the tenant's
+    #: warm-standby pair (None for solo tenants).
+    pair: Optional["ReplicatedPair"] = field(repr=False, default=None)
 
 
 class BuddyFarm:
@@ -220,6 +225,48 @@ class BuddyFarm:
         yield self.world.env.timeout(delay)
         tenant.deployment.launch()
 
+    def enable_replication(
+        self,
+        standby_hosts: Optional[dict[str, "Host"]] = None,
+        **pair_kwargs,
+    ) -> dict[str, "ReplicatedPair"]:
+        """Give every tenant a warm-standby pair on a second host.
+
+        Each tenant's deployment becomes the *primary* of a
+        :class:`~repro.core.replication.ReplicatedPair`: a standby
+        deployment (sharing the tenant's config and logical addresses) is
+        placed on its own host — ``standby_hosts`` maps tenant name to a
+        pre-built host, otherwise one is created per tenant — connected by
+        a log-ship :class:`~repro.sim.link.HostLink`, under one farm-wide
+        :class:`~repro.core.replication.FencingService`.  Call before
+        :meth:`start_watchdogs` so the primary MDCs get their resurrection
+        gates attached.  ``pair_kwargs`` forward to ``build_pair``
+        (lease/heartbeat tuning, link latency/loss, MDC kwargs).
+        """
+        from repro.core.replication import FencingService, build_pair
+
+        if self._launched:
+            raise RuntimeError(
+                "enable replication before launching the farm"
+            )
+        fencing = pair_kwargs.pop("fencing", None) or FencingService()
+        pairs: dict[str, "ReplicatedPair"] = {}
+        for tenant in self._by_index:
+            if tenant.pair is not None:
+                raise RuntimeError(f"{tenant.name!r} is already replicated")
+            standby_host = (
+                standby_hosts.get(tenant.name) if standby_hosts else None
+            )
+            tenant.pair = build_pair(
+                self.world,
+                tenant.deployment,
+                standby_host=standby_host,
+                fencing=fencing,
+                **pair_kwargs,
+            )
+            pairs[tenant.name] = tenant.pair
+        return pairs
+
     def start_watchdogs(self, **mdc_kwargs) -> None:
         """Put every tenant under its own MDC watchdog (§4.2.1).
 
@@ -228,25 +275,38 @@ class BuddyFarm:
         would race two incarnations for the same endpoint.  This is the
         launch mode fault-injection rigs (the chaos testkit) need: a farm
         whose tenants survive PROCESS_CRASH / PROCESS_HANG faults.
+
+        For replicated tenants the MDC is attached to the pair: the
+        failover controller gates its boot-time restarts (epoch fencing)
+        and reuses the same kwargs for the standby's MDC at promotion.
         """
         if self._launched:
             raise RuntimeError("farm already launched")
         self._launched = True
         for tenant in self._by_index:
             tenant.mdc = self.world.start_mdc(tenant.deployment, **mdc_kwargs)
+            if tenant.pair is not None:
+                tenant.pair.attach_primary_mdc(tenant.mdc, mdc_kwargs)
 
     def deployments(self) -> list["BuddyDeployment"]:
         """Every tenant's deployment, in tenant-index order."""
         return [tenant.deployment for tenant in self._by_index]
 
     def teardown_all(self, reason: str = "farm teardown") -> None:
-        """Request termination of every live incarnation.
+        """Stop every watchdog and terminate every live incarnation.
 
+        MDCs are stopped *with* their buddies (``terminate_buddy=True``):
+        a monitor left running would treat the teardown as a crash and
+        relaunch, and a buddy left running would be an unmonitored orphan.
         Interrupts are simulation events: call this while the kernel still
         has time to run (or run the world briefly afterwards) so the
         incarnations can unwind cleanly.
         """
         for tenant in self._by_index:
+            if tenant.pair is not None:
+                tenant.pair.teardown()
+            if tenant.mdc is not None:
+                tenant.mdc.stop(terminate_buddy=True)
             buddy = tenant.deployment.current
             if buddy is not None and buddy.alive:
                 buddy.force_terminate(reason)

@@ -16,12 +16,15 @@ from __future__ import annotations
 
 import itertools
 import json
+import logging
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Protocol
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Environment
+
+logger = logging.getLogger(__name__)
 
 #: Synchronous append + flush on period hardware; the dominant extra cost in
 #: the paper's 1.5 s logged-ack round trip over the <1 s one-way time.
@@ -38,6 +41,20 @@ class LogEntry:
     payload: str
     processed: bool = False
     processed_at: Optional[float] = None
+
+
+class LogShipperHook(Protocol):
+    """What a replication shipper must provide to tap the log's records.
+
+    ``on_append`` is a simulation generator: the append (and therefore the
+    ack that follows it) waits for the ship to complete or be queued.
+    ``on_mark`` is synchronous enqueue-only; the pipeline flushes marks
+    before it records a terminal outcome (see
+    :mod:`repro.core.replication`).
+    """
+
+    def on_append(self, record: dict): ...  # generator
+    def on_mark(self, record: dict) -> None: ...
 
 
 class PessimisticLog:
@@ -57,6 +74,10 @@ class PessimisticLog:
         self._entries: dict[int, LogEntry] = {}
         self._by_alert: dict[str, int] = {}
         self._ids = itertools.count(1)
+        #: Warm-standby replication tap (a :class:`LogShipperHook`).  When
+        #: set, every appended record ships before the append returns —
+        #: preserving the log-before-ack ordering across the pair.
+        self.shipper: Optional[LogShipperHook] = None
 
     # ------------------------------------------------------------------
     # Writing
@@ -77,15 +98,16 @@ class PessimisticLog:
         )
         self._entries[entry.entry_id] = entry
         self._by_alert[alert_id] = entry.entry_id
-        self._write_line(
-            {
-                "op": "append",
-                "entry_id": entry.entry_id,
-                "alert_id": alert_id,
-                "received_at": entry.received_at,
-                "payload": payload,
-            }
-        )
+        record = {
+            "op": "append",
+            "entry_id": entry.entry_id,
+            "alert_id": alert_id,
+            "received_at": entry.received_at,
+            "payload": payload,
+        }
+        self._write_line(record)
+        if self.shipper is not None:
+            yield from self.shipper.on_append(record)
         return entry
 
     def mark_processed(self, entry_id: int) -> None:
@@ -95,7 +117,14 @@ class PessimisticLog:
             return
         entry.processed = True
         entry.processed_at = self.env.now
-        self._write_line({"op": "processed", "entry_id": entry_id})
+        record = {
+            "op": "processed",
+            "entry_id": entry_id,
+            "processed_at": entry.processed_at,
+        }
+        self._write_line(record)
+        if self.shipper is not None:
+            self.shipper.on_mark(record)
 
     # ------------------------------------------------------------------
     # Reading / recovery
@@ -120,8 +149,71 @@ class PessimisticLog:
         entry_id = self._by_alert.get(alert_id)
         return self._entries.get(entry_id) if entry_id is not None else None
 
+    def entry(self, entry_id: int) -> Optional[LogEntry]:
+        return self._entries.get(entry_id)
+
     def __len__(self) -> int:
         return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Replication (standby mirror)
+    # ------------------------------------------------------------------
+
+    def apply_replica_record(self, record: dict) -> None:
+        """Apply one shipped record to this (standby) log, instantly.
+
+        The ship latency was already paid on the link; application is the
+        local bookkeeping a real standby does on receipt.  Idempotent, so
+        catch-up after a partition may safely overlap a snapshot re-seed.
+        A 'processed' mark for an entry that never arrived (records raced
+        a link flap) is skipped with a warning — recovery replay then errs
+        toward re-delivery, never loss.
+        """
+        if record["op"] == "append":
+            entry = LogEntry(
+                entry_id=record["entry_id"],
+                alert_id=record["alert_id"],
+                received_at=record["received_at"],
+                payload=record["payload"],
+            )
+            self._entries[entry.entry_id] = entry
+            self._by_alert[entry.alert_id] = entry.entry_id
+            self._write_line(record)
+            # Local appends (after a promotion) must not collide with
+            # anything mirrored.
+            self._ids = itertools.count(max(self._entries) + 1)
+        elif record["op"] == "processed":
+            entry = self._entries.get(record["entry_id"])
+            if entry is None:
+                logger.warning(
+                    "replica log: 'processed' mark for unknown entry %r",
+                    record["entry_id"],
+                )
+                return
+            if not entry.processed:
+                entry.processed = True
+                entry.processed_at = record.get("processed_at")
+                self._write_line(record)
+
+    def snapshot_records(self) -> list[dict]:
+        """The record stream that rebuilds this log's current state —
+        what reconciliation ships to re-seed a rejoining standby."""
+        records: list[dict] = []
+        for entry in self.entries():
+            records.append({
+                "op": "append",
+                "entry_id": entry.entry_id,
+                "alert_id": entry.alert_id,
+                "received_at": entry.received_at,
+                "payload": entry.payload,
+            })
+            if entry.processed:
+                records.append({
+                    "op": "processed",
+                    "entry_id": entry.entry_id,
+                    "processed_at": entry.processed_at,
+                })
+        return records
 
     # ------------------------------------------------------------------
     # File backing
@@ -145,25 +237,48 @@ class PessimisticLog:
         if not Path(path).exists():
             return log
         max_id = 0
-        with Path(path).open(encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
+        lines = [
+            stripped
+            for stripped in (
+                raw.strip()
+                for raw in Path(path).read_text(encoding="utf-8").splitlines()
+            )
+            if stripped
+        ]
+        for index, line in enumerate(lines):
+            try:
                 record = json.loads(line)
-                if record["op"] == "append":
-                    entry = LogEntry(
-                        entry_id=record["entry_id"],
-                        alert_id=record["alert_id"],
-                        received_at=record["received_at"],
-                        payload=record["payload"],
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    # A torn tail line is the expected signature of a crash
+                    # mid-append: the entry was never durable, so the ack
+                    # never went out and the sender's fallback covers it.
+                    logger.warning(
+                        "pessimistic log %s: skipping torn tail record %r",
+                        path, line[:80],
                     )
-                    log._entries[entry.entry_id] = entry
-                    log._by_alert[entry.alert_id] = entry.entry_id
-                    max_id = max(max_id, entry.entry_id)
-                elif record["op"] == "processed":
-                    existing = log._entries.get(record["entry_id"])
-                    if existing is not None:
-                        existing.processed = True
+                    continue
+                raise  # corruption in the middle of the file is a real error
+            if record["op"] == "append":
+                entry = LogEntry(
+                    entry_id=record["entry_id"],
+                    alert_id=record["alert_id"],
+                    received_at=record["received_at"],
+                    payload=record["payload"],
+                )
+                log._entries[entry.entry_id] = entry
+                log._by_alert[entry.alert_id] = entry.entry_id
+                max_id = max(max_id, entry.entry_id)
+            elif record["op"] == "processed":
+                existing = log._entries.get(record["entry_id"])
+                if existing is None:
+                    logger.warning(
+                        "pessimistic log %s: 'processed' record for entry %r "
+                        "that was never appended",
+                        path, record["entry_id"],
+                    )
+                    continue
+                existing.processed = True
+                existing.processed_at = record.get("processed_at")
         log._ids = itertools.count(max_id + 1)
         return log

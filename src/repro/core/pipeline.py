@@ -67,6 +67,8 @@ class PipelineContext:
     failed_users: set[str] = field(default_factory=set)
     finished: bool = False
     outcome_kind: Optional[str] = None
+    #: Fencing epoch the trip ran under (replicated pairs only).
+    epoch: Optional[int] = None
 
     @property
     def alert(self) -> "Alert":
@@ -316,14 +318,41 @@ class AlertPipeline:
             entry=self.log.entry_for_alert(incoming.alert.alert_id),
         )
 
+    def _replication_guard(self):
+        """The pair side shipping this log, if replication is wired."""
+        shipper = getattr(self.log, "shipper", None)
+        if shipper is not None and hasattr(shipper, "route_guard"):
+            return shipper
+        return None
+
     def process(self, incoming: IncomingAlert):
         """Generator: run one alert through the stages; returns the context."""
+        guard = self._replication_guard()
         ctx = self.make_context(incoming)
+        if guard is not None:
+            ctx.epoch = guard.epoch
+            if not guard.route_guard(incoming):
+                # Fenced epoch: this side must not route.  The guard has
+                # already forwarded the alert to the active side; the log
+                # entry stays unprocessed for reconciliation to hand over.
+                ctx.finished = True
+                ctx.outcome_kind = "fenced"
+                self.journal.record(
+                    self.env.now,
+                    "fenced",
+                    f"via {incoming.via.value}",
+                    alert_id=ctx.alert.alert_id,
+                )
+                if self.on_outcome is not None:
+                    self.on_outcome(ctx)
+                return ctx
         if incoming.retry_users is None and (
             ctx.alert.alert_id in self.journal.routed_ids
             or ctx.alert.alert_id in self.journal.retry_pending
         ):
             ctx.finish("duplicate_incoming", f"via {incoming.via.value}")
+            if guard is not None:
+                yield from guard.after_trip(ctx)
             if self.on_outcome is not None:
                 self.on_outcome(ctx)
             return ctx
@@ -331,6 +360,11 @@ class AlertPipeline:
             yield from stage.run(ctx)
             if ctx.finished:
                 break
+        if guard is not None:
+            # Ship queued 'processed' marks *before* the outcome becomes
+            # observable: a crash mid-ship leaves the trip unobserved, so
+            # the standby's replay is the one delivery the oracle sees.
+            yield from guard.after_trip(ctx)
         if ctx.outcome_kind in ("retry_scheduled", "routed",
                                 "delivery_abandoned"):
             if self.on_progress is not None:

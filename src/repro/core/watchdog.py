@@ -81,6 +81,11 @@ class MasterDaemonController:
         self.running = False
         self._generation = 0
         self._consecutive_failed = 0
+        #: Replication hook: when set, a boot-time restart first asks the
+        #: failover controller whether this side may run at all.  A fenced
+        #: old primary gets False (and is sent to reconciliation) — the MDC
+        #: hands off instead of resurrecting a split brain.
+        self.resurrection_gate: Optional[Callable[[], bool]] = None
 
         host.on_shutdown(self._on_host_down)
         host.on_boot(self._on_host_boot)
@@ -100,8 +105,21 @@ class MasterDaemonController:
             self._monitor(self._generation), name="mdc-monitor"
         )
 
-    def stop(self) -> None:
+    def stop(self, terminate_buddy: bool = False) -> None:
+        """Stop monitoring; with ``terminate_buddy`` also kill the buddy.
+
+        A plain stop leaves the incarnation running *unmonitored* — fine
+        for handing over to another supervisor, but a teardown (or a
+        fencing handoff) wants no orphan process left routing.
+        """
         self.running = False
+        if (
+            terminate_buddy
+            and self.buddy is not None
+            and self.buddy.process is not None
+            and self.buddy.process.is_alive
+        ):
+            self.buddy.force_terminate("MDC stop")
 
     def _on_host_down(self) -> None:
         self.running = False
@@ -113,6 +131,8 @@ class MasterDaemonController:
     def _on_host_boot(self) -> None:
         # The MDC is registered to start at boot — that is what makes the
         # whole stack self-healing across reboots.
+        if self.resurrection_gate is not None and not self.resurrection_gate():
+            return
         self.start()
 
     # ------------------------------------------------------------------

@@ -17,6 +17,7 @@ the paper-vs-measured table, and assert the qualitative *shape* holds.
 | E8 | :func:`~repro.experiments.delivery_comparison.run_comparison` | SIMBA vs baselines |
 | E9 | :func:`~repro.experiments.fault_tolerance.run_ha_ablation` | each HA technique matters |
 | E10 | :func:`~repro.experiments.chaos.run_chaos_experiment` | randomized chaos search |
+| E11 | :func:`~repro.experiments.failover.run_failover_comparison` | warm-standby failover beats MDC-only |
 """
 
 from repro.experiments.ablations import (
@@ -36,6 +37,12 @@ from repro.experiments.delivery_comparison import (
     ComparisonResult,
     StrategyMetrics,
     run_comparison,
+)
+from repro.experiments.failover import (
+    FailoverResult,
+    FailoverVariant,
+    crash_schedule,
+    run_failover_comparison,
 )
 from repro.experiments.fault_tolerance import (
     FaultMonthResult,
@@ -61,6 +68,8 @@ __all__ = [
     "run_farm_throughput_sweep",
     "run_log_latency_sweep",
     "ComparisonResult",
+    "FailoverResult",
+    "FailoverVariant",
     "FaultMonthResult",
     "HAFeatures",
     "PortalScaleResult",
@@ -69,7 +78,9 @@ __all__ = [
     "run_ack_roundtrip",
     "run_aladdin_disarm",
     "run_chaos_experiment",
+    "crash_schedule",
     "run_comparison",
+    "run_failover_comparison",
     "run_fault_month",
     "run_ha_ablation",
     "run_im_one_way",

@@ -1,0 +1,264 @@
+"""Experiment E11: warm-standby failover vs the paper's MDC-only stack.
+
+The §4.2.1 availability story is *same-host* recovery: the MDC relaunches a
+crashed MyAlertBuddy, and a power loss therefore stalls delivery for the
+whole outage plus the reboot.  The warm-standby pair
+(:mod:`repro.core.replication`) exists to close exactly that window, and
+this experiment quantifies it: one fixed schedule of primary-host power
+losses, injected mid-delivery, replayed bit-identically against three
+stacks —
+
+- ``solo`` — a plain launched farm, no watchdog.  The crash is fatal;
+  every alert after it is lost.  (The paper's motivation row.)
+- ``mdc`` — tenants under their MDC watchdogs (the paper's §4.2.1 stack).
+  Nothing is lost, but delivery stalls for outage + reboot.
+- ``replicated`` — warm-standby pairs with log shipping, lease failover
+  and epoch fencing.  The standby takes over within the lease timeout.
+
+Per variant we measure offered/delivered/lost alerts, alerts routed more
+than once (terminal ``routed`` trips — the duplicate metric fencing is
+accountable for), failover promotions, and the per-alert delivery-latency
+distribution.  The p95 latency is the headline: for an alert unlucky
+enough to arrive during the outage it *is* the unavailability window.
+
+:func:`run_failover_comparison` returns a :class:`FailoverResult`;
+:func:`repro.metrics.failover_report.failover_report` renders the table
+the CI ``failover-smoke`` job publishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.farm import FarmProfile
+from repro.metrics.stats import Summary, summarize
+from repro.sim.clock import MINUTE
+from repro.sim.failures import FaultKind, ScheduledFault
+from repro.testkit.harness import EMAIL_FAST, wire_chaos_targets
+from repro.testkit.oracle import DEAD_LETTER_KINDS, DeliveryOracle
+from repro.workloads.faultload import TARGET_HOST
+from repro.world import SimbaWorld, WorldConfig
+
+#: The three stacks compared, in presentation order.
+VARIANTS = ("solo", "mdc", "replicated")
+
+
+@dataclass
+class FailoverVariant:
+    """One stack's behaviour under the shared crash schedule."""
+
+    name: str
+    offered: int
+    delivered: int
+    #: Offered alerts that neither reached the user nor were explicitly
+    #: dead-lettered — silent loss.
+    lost: int
+    #: Alerts with more than one terminal ``routed`` pipeline trip.
+    duplicate_routes: int
+    #: Failover promotions (replicated variant only).
+    promotions: int
+    #: Per-alert delivery latency (emit → first receipt), offered alerts.
+    latency: Summary
+    #: Oracle violations (informational for ``solo``, which loses alerts
+    #: by construction).
+    violations: list[str] = field(default_factory=list)
+
+
+@dataclass
+class FailoverResult:
+    """All three variants under one crash schedule."""
+
+    seed: int
+    schedule: list[ScheduledFault]
+    variants: list[FailoverVariant] = field(default_factory=list)
+
+    def variant(self, name: str) -> FailoverVariant:
+        for v in self.variants:
+            if v.name == name:
+                return v
+        raise KeyError(name)
+
+    @property
+    def ok(self) -> bool:
+        """The tentpole claim: the replicated pair loses nothing, routes
+        nothing twice, satisfies the oracle (fencing invariants included),
+        and its p95 per-alert unavailability beats MDC-only."""
+        replicated = self.variant("replicated")
+        mdc = self.variant("mdc")
+        return (
+            replicated.lost == 0
+            and replicated.duplicate_routes == 0
+            and not replicated.violations
+            and replicated.latency.p95 < mdc.latency.p95
+        )
+
+
+def crash_schedule(
+    seed: int,
+    n_crashes: int = 2,
+    start: float = 5 * MINUTE,
+    window: float = 40 * MINUTE,
+    outage: tuple[float, float] = (3 * MINUTE, 8 * MINUTE),
+) -> list[ScheduledFault]:
+    """Primary-host power losses spread over the workload window.
+
+    Crash times land mid-window (never in the tail) so each outage hits
+    alerts in flight, and outages are spaced so the host is back up (and
+    the pair reconciled) before the next one.
+    """
+    rng = np.random.default_rng(seed)
+    faults = []
+    slot = window / n_crashes
+    for index in range(n_crashes):
+        at = start + index * slot + float(rng.uniform(0.1, 0.4)) * slot
+        faults.append(
+            ScheduledFault(
+                at=at,
+                kind=FaultKind.POWER_OUTAGE,
+                target=TARGET_HOST,
+                duration=float(rng.uniform(*outage)),
+            )
+        )
+    return faults
+
+
+def _run_variant(
+    variant: str,
+    seed: int,
+    schedule: list[ScheduledFault],
+    n_users: int,
+    alert_period: float,
+    window_end: float,
+    settle: float,
+    mdc_check_interval: float,
+) -> FailoverVariant:
+    oracle = DeliveryOracle()
+    world = SimbaWorld(
+        WorldConfig(
+            seed=seed, email_latency=EMAIL_FAST, email_loss=0.0, sms_loss=0.0
+        )
+    )
+    farm = world.create_farm(
+        shards=4,
+        profile=FarmProfile(categories=("News",), accept_sources=("portal",)),
+    )
+    tenants = farm.add_users(n_users)
+    for tenant in tenants:
+        tenant.deployment.config.pipeline_observer = oracle.observer_for(
+            tenant.name
+        )
+    if variant == "replicated":
+        farm.enable_replication()
+    if variant == "solo":
+        farm.launch_all()
+    else:
+        farm.start_watchdogs(check_interval=mdc_check_interval)
+
+    source = world.create_source("portal")
+    farm.register_with(source)
+
+    offered: dict[str, set[str]] = {t.name: set() for t in tenants}
+    emitted_at: dict[str, float] = {}
+
+    def workload(env):
+        index = 0
+        while env.now < window_end:
+            tenant = tenants[index % len(tenants)]
+            alert, _ = source.emit_to(
+                tenant.book, "News", f"e11-{index}-{tenant.name}", "body"
+            )
+            offered[tenant.name].add(alert.alert_id)
+            emitted_at[alert.alert_id] = env.now
+            index += 1
+            yield env.timeout(alert_period)
+
+    world.env.process(workload(world.env), name="e11-workload")
+    injector = wire_chaos_targets(world, farm, operator_response=5 * MINUTE)
+    injector.load(schedule)
+    world.run(until=window_end + settle)
+
+    report = oracle.check(
+        farm, offered=offered, source_endpoints=[source.endpoint]
+    )
+    by_user = oracle.outcomes_by_user()
+    total_offered = sum(len(ids) for ids in offered.values())
+    delivered = 0
+    lost = 0
+    duplicate_routes = 0
+    latencies: list[float] = []
+    for tenant in tenants:
+        received = tenant.user.unique_alerts_received()
+        first_receipt = {}
+        for receipt in tenant.user.receipts:
+            if not receipt.duplicate:
+                first_receipt.setdefault(receipt.alert_id, receipt.at)
+        per_alert = by_user.get(tenant.name, {})
+        for alert_id in offered[tenant.name]:
+            trips = per_alert.get(alert_id, [])
+            routed = sum(1 for t in trips if t.kind == "routed")
+            if routed > 1:
+                duplicate_routes += 1
+            if alert_id in received:
+                delivered += 1
+                latencies.append(
+                    first_receipt[alert_id] - emitted_at[alert_id]
+                )
+            elif not any(t.kind in DEAD_LETTER_KINDS for t in trips):
+                lost += 1
+    promotions = sum(
+        len(t.pair.audit.promotions) - 1
+        for t in tenants
+        if t.pair is not None
+    )
+    return FailoverVariant(
+        name=variant,
+        offered=total_offered,
+        delivered=delivered,
+        lost=lost,
+        duplicate_routes=duplicate_routes,
+        promotions=promotions,
+        latency=summarize(latencies),
+        violations=[str(v) for v in report.violations],
+    )
+
+
+def run_failover_comparison(
+    seed: int = 0,
+    n_users: int = 2,
+    n_crashes: int = 2,
+    alert_period: float = 20.0,
+    window: float = 40 * MINUTE,
+    settle: float = 25 * MINUTE,
+    mdc_check_interval: float = 60.0,
+    schedule: Optional[list[ScheduledFault]] = None,
+    variants: tuple[str, ...] = VARIANTS,
+) -> FailoverResult:
+    """Replay one crash schedule against each stack in ``variants``.
+
+    The default runs all three; acceptance sweeps that only need the
+    mdc-vs-replicated verdict pass ``("mdc", "replicated")`` and skip the
+    (informational, alert-losing) solo run.
+    """
+    if schedule is None:
+        schedule = crash_schedule(seed, n_crashes=n_crashes, window=window)
+    window_end = max(
+        [5 * MINUTE + window] + [f.at + f.duration for f in schedule]
+    )
+    result = FailoverResult(seed=seed, schedule=list(schedule))
+    for variant in variants:
+        result.variants.append(
+            _run_variant(
+                variant,
+                seed,
+                schedule,
+                n_users=n_users,
+                alert_period=alert_period,
+                window_end=window_end,
+                settle=settle,
+                mdc_check_interval=mdc_check_interval,
+            )
+        )
+    return result

@@ -1,6 +1,7 @@
 """Measurement helpers: latency summaries, collectors, report tables."""
 
 from repro.metrics.collector import LatencyCollector
+from repro.metrics.failover_report import failover_report
 from repro.metrics.invariant_report import invariant_report, sweep_report
 from repro.metrics.recovery_report import recovery_report
 from repro.metrics.reports import format_table
@@ -11,6 +12,7 @@ __all__ = [
     "LatencyCollector",
     "Summary",
     "TraceEvent",
+    "failover_report",
     "format_table",
     "invariant_report",
     "recovery_report",

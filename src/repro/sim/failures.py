@@ -50,6 +50,11 @@ class FaultKind(enum.Enum):
     #: *every* communication block fails, which requires the email backup
     #: channel to be down at routing time.
     EMAIL_OUTAGE = "email_outage"
+    #: The warm-standby log-ship link between a primary and its standby is
+    #: partitioned.  Appends queue as unshipped on the primary; a lease
+    #: expiry during the partition promotes the standby and the fencing
+    #: epoch is what keeps the still-alive primary from double-routing.
+    REPLICATION_LINK_DOWN = "replication_link_down"
 
 
 @dataclass(frozen=True)

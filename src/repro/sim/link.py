@@ -1,0 +1,82 @@
+"""A point-to-point link between two hosts (the replication ship channel).
+
+Unlike the :mod:`repro.net` substrates — shared *services* with accounts,
+sessions and mailboxes — a :class:`HostLink` is a bare pipe: latency drawn
+from a :class:`~repro.net.channel.LatencyModel`, optional loss, an
+availability flag the fault injector can toggle
+(:data:`~repro.sim.failures.FaultKind.REPLICATION_LINK_DOWN`), and
+endpoint-host awareness: a transfer whose destination host is dark fails
+exactly like a dropped packet.
+
+The warm-standby pair (:mod:`repro.core.replication`) ships pessimistic-log
+records and heartbeats over one of these.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.channel import ChannelBase, LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.host import Host
+    from repro.sim.kernel import Environment
+
+#: LAN-to-LAN ship latency: a few tens of milliseconds, tail under a second.
+DEFAULT_LINK_LATENCY = LatencyModel(median=0.03, sigma=0.5, low=0.005, high=1.0)
+
+
+class HostLink(ChannelBase):
+    """Point-to-point transfer channel between two failable hosts."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        src: "Host",
+        dst: "Host",
+        rng: np.random.Generator,
+        latency: LatencyModel = DEFAULT_LINK_LATENCY,
+        loss_probability: float = 0.0,
+        name: Optional[str] = None,
+    ):
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ConfigurationError(
+                f"loss probability must be in [0, 1], got {loss_probability}"
+            )
+        super().__init__(env, name or f"link-{src.name}-{dst.name}")
+        self.src = src
+        self.dst = dst
+        self.rng = rng
+        self.latency = latency
+        self.loss_probability = loss_probability
+
+    def usable(self, toward: "Host") -> bool:
+        """Whether a transfer toward ``toward`` could start right now."""
+        return self.available and toward.up
+
+    def transfer(self, toward: Optional["Host"] = None):
+        """Generator: move one record toward ``toward`` (default ``dst``).
+
+        Returns True when the record arrived, False when the link was down,
+        the destination host was dark at arrival time, or the packet was
+        lost.  Waiting the latency happens in either case — the sender only
+        learns the outcome after the round trip.
+        """
+        toward = toward if toward is not None else self.dst
+        if not self.available:
+            self.stats.rejected += 1
+            return False
+        self.stats.submitted += 1
+        sent_at = self.env.now
+        yield self.env.timeout(self.latency.draw(self.rng))
+        if self.loss_probability and self.rng.random() < self.loss_probability:
+            self.stats.lost += 1
+            return False
+        if not self.available or not toward.up:
+            self.stats.lost += 1
+            return False
+        self.stats.record_delivery(self.env.now - sent_at)
+        return True

@@ -37,7 +37,9 @@ from repro.workloads.faultload import (
     TARGET_IM_CLIENT,
     TARGET_IM_SERVICE,
     TARGET_MAB,
+    TARGET_REPLICATION_LINK,
     TARGET_SCREEN,
+    TARGET_STANDBY_HOST,
     UNKNOWN_DIALOG_CAPTIONS,
 )
 
@@ -100,6 +102,18 @@ class ChaosIntensity:
     #: Leaked megabytes per MEMORY_LEAK fault (over the 200 MB default
     #: limit triggers rejuvenation; under it just loads the heap).
     leak_megabytes: tuple[float, float] = (100.0, 400.0)
+    #: Replication mode: how long the log-ship link stays partitioned.
+    #: The upper bound comfortably exceeds the default 20 s lease, so some
+    #: partitions promote the standby while the primary is still alive —
+    #: the split-brain-shaped interleaving epoch fencing exists for.
+    link_down_duration: tuple[float, float] = (10.0, 5 * MINUTE)
+    #: Replication mode: probability a primary-host power loss seeds a
+    #: *failover storm* — a standby-host crash landing while promotion /
+    #: takeover recovery is still in flight.
+    failover_storm_probability: float = 0.5
+    #: The storm's standby crash lands this long after the primary's (the
+    #: default lease expires at ~20 s, so the window straddles promotion).
+    standby_crash_delay: tuple[float, float] = (8.0, 45.0)
 
     def __post_init__(self):
         if self.faults_per_hour < 0:
@@ -139,6 +153,16 @@ KIND_WEIGHTS: dict[FaultKind, float] = {
     FaultKind.POWER_OUTAGE: 0.5,
 }
 
+#: Extra weights layered on in replication mode: link partitions join the
+#: taxonomy and host power loss becomes a *featured* fault (it is exactly
+#: what the warm standby exists to survive).  Kept out of
+#: :data:`KIND_WEIGHTS` so non-replicated schedules are bit-for-bit
+#: unchanged for a fixed seed.
+REPLICATION_KIND_WEIGHTS: dict[FaultKind, float] = {
+    FaultKind.REPLICATION_LINK_DOWN: 1.5,
+    FaultKind.POWER_OUTAGE: 2.0,
+}
+
 
 class FaultScheduleGenerator:
     """Sample random fault schedules for a fixed set of users."""
@@ -150,6 +174,7 @@ class FaultScheduleGenerator:
         duration: float = 2 * HOUR,
         start: float = 5 * MINUTE,
         intensity: ChaosIntensity | None = None,
+        replication: bool = False,
     ):
         if not users:
             raise ConfigurationError("at least one user is required")
@@ -160,9 +185,13 @@ class FaultScheduleGenerator:
         self.duration = float(duration)
         self.start = float(start)
         self.intensity = intensity if intensity is not None else ChaosIntensity()
+        self.replication = bool(replication)
         self.rng = np.random.default_rng(self.seed)
-        kinds = list(KIND_WEIGHTS)
-        weights = np.array([KIND_WEIGHTS[k] for k in kinds], dtype=float)
+        weight_table = dict(KIND_WEIGHTS)
+        if self.replication:
+            weight_table.update(REPLICATION_KIND_WEIGHTS)
+        kinds = list(weight_table)
+        weights = np.array([weight_table[k] for k in kinds], dtype=float)
         self._kinds = kinds
         self._kind_probs = weights / weights.sum()
 
@@ -197,9 +226,21 @@ class FaultScheduleGenerator:
                 duration=self._uniform(intensity.outage_duration),
             )
         if kind is FaultKind.POWER_OUTAGE:
+            target = TARGET_HOST
+            if self.replication and self.rng.random() < 0.4:
+                # Sometimes the *standby's* machine loses power instead of
+                # the primary pool — promotion must then wait for it, and a
+                # dead standby must never be promoted.
+                target = f"{TARGET_STANDBY_HOST}:{self._draw_user()}"
             return ScheduledFault(
-                at=at, kind=kind, target=TARGET_HOST,
+                at=at, kind=kind, target=target,
                 duration=self._uniform(intensity.power_duration),
+            )
+        if kind is FaultKind.REPLICATION_LINK_DOWN:
+            return ScheduledFault(
+                at=at, kind=kind,
+                target=f"{TARGET_REPLICATION_LINK}:{self._draw_user()}",
+                duration=self._uniform(intensity.link_down_duration),
             )
         if kind is FaultKind.DIALOG_POPUP:
             caption, button = KNOWN_DIALOG_CAPTIONS[
@@ -227,6 +268,44 @@ class FaultScheduleGenerator:
             at=at, kind=kind, target=per_user_target(kind, user), params=params,
         )
 
+    def make_failover_storm(self, at: float) -> list[ScheduledFault]:
+        """The nastiest replicated-pair interleaving, as one compound.
+
+        The primary's host loses power (so with alerts flowing every few
+        tens of seconds, some run dies between log-append and ack), and
+        while the lease is expiring / the standby is mid-promotion-takeover
+        the standby's host crashes too.  Half the time the ship link was
+        already partitioned when the primary died, so the standby promotes
+        from a mirror missing the freshest unshipped appends.
+        """
+        intensity = self.intensity
+        user = self._draw_user()
+        storm = []
+        if self.rng.random() < 0.5:
+            storm.append(
+                ScheduledFault(
+                    at=max(0.0, at - self._uniform((1.0, 30.0))),
+                    kind=FaultKind.REPLICATION_LINK_DOWN,
+                    target=f"{TARGET_REPLICATION_LINK}:{user}",
+                    duration=self._uniform(intensity.link_down_duration),
+                )
+            )
+        storm.append(
+            ScheduledFault(
+                at=at, kind=FaultKind.POWER_OUTAGE, target=TARGET_HOST,
+                duration=self._uniform(intensity.power_duration),
+            )
+        )
+        storm.append(
+            ScheduledFault(
+                at=at + self._uniform(intensity.standby_crash_delay),
+                kind=FaultKind.POWER_OUTAGE,
+                target=f"{TARGET_STANDBY_HOST}:{user}",
+                duration=self._uniform(intensity.power_duration),
+            )
+        )
+        return storm
+
     def generate(self) -> list[ScheduledFault]:
         """One full schedule: base Poisson arrivals + bursts + chasers."""
         intensity = self.intensity
@@ -238,7 +317,15 @@ class FaultScheduleGenerator:
         faults: list[ScheduledFault] = []
         for at in base_times:
             fault = self.make_fault(float(at))
-            faults.append(fault)
+            if (
+                self.replication
+                and fault.kind is FaultKind.POWER_OUTAGE
+                and fault.target == TARGET_HOST
+                and self.rng.random() < intensity.failover_storm_probability
+            ):
+                faults.extend(self.make_failover_storm(fault.at))
+            else:
+                faults.append(fault)
             if self.rng.random() < intensity.burst_probability:
                 extra = int(self.rng.integers(1, intensity.burst_max + 1))
                 for _ in range(extra):

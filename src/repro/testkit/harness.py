@@ -33,7 +33,9 @@ from repro.workloads.faultload import (
     TARGET_IM_CLIENT,
     TARGET_IM_SERVICE,
     TARGET_MAB,
+    TARGET_REPLICATION_LINK,
     TARGET_SCREEN,
+    TARGET_STANDBY_HOST,
 )
 from repro.world import SimbaWorld, WorldConfig
 
@@ -66,6 +68,14 @@ class ChaosRunConfig:
     delivery_retry_delay: float = 60.0
     delivery_max_attempts: int = 4
     mdc_check_interval: float = 60.0
+    #: Give every tenant a warm-standby pair (:meth:`~repro.core.farm
+    #: .BuddyFarm.enable_replication`) and register the replication
+    #: injection targets (``replication-link:<user>``,
+    #: ``standby-host:<user>``).
+    replication: bool = False
+    heartbeat_interval: float = 5.0
+    lease_timeout: float = 20.0
+    lease_check_interval: float = 2.0
 
 
 @dataclass
@@ -83,6 +93,8 @@ class ChaosReport:
     injected: int = 0
     rejected_injections: int = 0
     horizon: float = 0.0
+    #: Replication mode only: per-tenant failover promotion counts.
+    promotions: dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -105,13 +117,20 @@ class ChaosReport:
             "violations": sorted(str(v) for v in self.oracle.violations),
             "info": sorted(self.oracle.info.items()),
         }
+        if self.promotions:
+            # Only stamped in replication mode, so pre-replication
+            # fingerprints (pinned reproducers) are unchanged.
+            payload["promotions"] = sorted(self.promotions.items())
         canonical = json.dumps(payload, sort_keys=True, default=repr)
         return hashlib.sha256(canonical.encode()).hexdigest()
 
     def summary(self) -> str:
         verdict = "PASS" if self.ok else "FAIL"
+        failovers = ""
+        if self.promotions:
+            failovers = f" ({sum(self.promotions.values())} failover(s))"
         return (
-            f"chaos {verdict}: {self.injected} faults injected, "
+            f"chaos {verdict}: {self.injected} faults injected{failovers}, "
             f"{sum(self.offered.values())} alerts offered, "
             f"{sum(self.delivered.values())} delivered — "
             + self.oracle.summary()
@@ -187,6 +206,15 @@ def wire_chaos_targets(
         injector.register(
             f"{TARGET_IM_CLIENT}:{tenant.name}", _client_handler(world, tenant)
         )
+        if tenant.pair is not None:
+            injector.register(
+                f"{TARGET_REPLICATION_LINK}:{tenant.name}",
+                _link_handler(tenant),
+            )
+            injector.register(
+                f"{TARGET_STANDBY_HOST}:{tenant.name}",
+                _standby_host_handler(tenant),
+            )
     return injector
 
 
@@ -204,6 +232,29 @@ def _mab_handler(tenant: "FarmTenant"):
         return False
 
     return on_mab
+
+
+def _link_handler(tenant: "FarmTenant"):
+    def on_link(fault: ScheduledFault) -> bool:
+        if fault.kind is FaultKind.REPLICATION_LINK_DOWN:
+            tenant.pair.link.outage(fault.duration)
+            return True
+        return False
+
+    return on_link
+
+
+def _standby_host_handler(tenant: "FarmTenant"):
+    # Targets the pair's *dedicated* second machine (side "b"'s host) —
+    # after a failover that machine is the active primary, which is
+    # exactly the double-failure the storm schedules go looking for.
+    def on_standby_host(fault: ScheduledFault) -> bool:
+        host = tenant.pair.b.host
+        if fault.kind is FaultKind.POWER_OUTAGE and host.up:
+            return host.power_failure(fault.duration)
+        return False
+
+    return on_standby_host
 
 
 def _client_handler(world: SimbaWorld, tenant: "FarmTenant"):
@@ -262,6 +313,12 @@ def run_chaos(
         cfg.delivery_max_attempts = config.delivery_max_attempts
         if stage_factory is not None:
             cfg.stage_factory = stage_factory
+    if config.replication:
+        farm.enable_replication(
+            heartbeat_interval=config.heartbeat_interval,
+            lease_timeout=config.lease_timeout,
+            check_interval=config.lease_check_interval,
+        )
     farm.start_watchdogs(check_interval=config.mdc_check_interval)
 
     source = world.create_source("portal")
@@ -314,4 +371,9 @@ def run_chaos(
             1 for r in injector.records if not r.accepted
         ),
         horizon=horizon,
+        promotions={
+            t.name: len(t.pair.audit.promotions) - 1
+            for t in tenants
+            if t.pair is not None
+        },
     )

@@ -25,6 +25,29 @@ user endpoint, pessimistic log, journal and ack table:
   with an outcome.  A trip that ran off the end of the stage list dropped
   its alert on the floor (exactly what a missing RetryStage looks like).
 
+Replicated tenants (a :class:`~repro.core.replication.ReplicatedPair` on
+:class:`~repro.core.farm.FarmTenant.pair`) get two more invariants, fed by
+the pair's :class:`~repro.core.replication.EpochAudit`:
+
+- **at-most-one-active-epoch** — no ack or routing pass is *initiated*
+  under epoch E strictly after a later epoch's promotion.  The guards
+  check the fencing service synchronously before recording, so any such
+  action means a guard was bypassed — split-brain, not an in-flight
+  delivery finishing late.
+- **no-fenced-reroute** — an alert routed under two epochs is legal only
+  in the partition shape: the old epoch's trip was already in flight
+  before the promotion *and* its ``processed`` mark never reached the
+  standby before the new epoch re-routed (so the replay was the correct
+  call).  Anything else — the mark was shipped yet the new primary routed
+  again, or the old primary routed *after* losing the epoch — is a real
+  duplicate.  Same-epoch double-routes stay plain ``exactly_once``
+  violations.
+
+The classic invariants turn pair-aware too: acks, logs and journals are
+audited on *both* sides, and a ``fenced`` outcome (the side refused the
+trip and forwarded the alert to the active side) is terminal but is
+neither a delivery nor a dead letter.
+
 :func:`check_farm_equivalence` is the remaining ISSUE invariant: a
 BuddyFarm run must be event-equivalent to the same users run as
 independent MABs.  Channel latencies *do* differ (tenants share the
@@ -61,6 +84,8 @@ class ObservedOutcome:
     kind: Optional[str]
     finished: bool
     at: float
+    #: Fencing epoch the trip ran under (replicated tenants only).
+    epoch: Optional[int] = None
 
 
 @dataclass
@@ -122,6 +147,7 @@ class DeliveryOracle:
                     kind=ctx.outcome_kind,
                     finished=ctx.finished,
                     at=ctx.env.now,
+                    epoch=getattr(ctx, "epoch", None),
                 )
             )
 
@@ -161,9 +187,24 @@ class DeliveryOracle:
         late_acks = 0
         unsolicited_acks = 0
         user_duplicates = 0
+        pairs_checked = 0
+        promotions = 0
+        forwarded = 0
 
         for tenant in farm:
             name = tenant.name
+            pair = getattr(tenant, "pair", None)
+            if pair is None:
+                audited = [("", tenant.deployment)]
+            else:
+                pairs_checked += 1
+                # The first promotion record is the initial epoch grant.
+                promotions += len(pair.audit.promotions) - 1
+                forwarded += len(pair.audit.forwarded)
+                audited = [
+                    (side.label, side.deployment) for side in pair.sides()
+                ]
+                self._check_epoch_fencing(report, pair, name)
             delivered = tenant.user.unique_alerts_received()
             per_alert = by_user.get(name, {})
             alerts_checked += len(per_alert)
@@ -183,17 +224,24 @@ class DeliveryOracle:
                                 alert_id=alert_id,
                             )
                         )
-                # exactly-once: one terminal routed trip per alert.
-                routed_trips = sum(1 for k in kinds if k == "routed")
-                if routed_trips > 1:
-                    report.violations.append(
-                        Violation(
-                            "exactly_once",
-                            f"{routed_trips} terminal 'routed' trips",
-                            user=name,
-                            alert_id=alert_id,
+                # exactly-once: one terminal routed trip per alert.  A
+                # replicated pair may legally route under two epochs in
+                # the partition shape — judged separately.
+                routed = [t for t in trips if t.kind == "routed"]
+                if len(routed) > 1:
+                    if pair is None:
+                        report.violations.append(
+                            Violation(
+                                "exactly_once",
+                                f"{len(routed)} terminal 'routed' trips",
+                                user=name,
+                                alert_id=alert_id,
+                            )
                         )
-                    )
+                    else:
+                        self._check_cross_epoch_routes(
+                            report, pair, name, alert_id, routed
+                        )
                 # delivered-or-dead-letter.
                 if alert_id in delivered:
                     continue
@@ -222,51 +270,62 @@ class DeliveryOracle:
                         )
                     )
 
-            # no-duplicate-acks (MAB side).
-            acks = tenant.deployment.endpoint.engine.acks
-            if acks.duplicate_count:
-                report.violations.append(
-                    Violation(
-                        "no_duplicate_acks",
-                        f"{acks.duplicate_count} duplicate ack(s) at the MAB",
-                        user=name,
-                    )
-                )
-            late_acks += acks.late_count
-            unsolicited_acks += acks.unsolicited_count
+            # A pair shares one logical MAB: either side may have routed
+            # an alert, so replay-idempotence reads both journals.
+            routed_ids: set[str] = set()
+            for _, deployment in audited:
+                routed_ids |= set(deployment.journal.routed_ids)
 
-            # log-quiescent.
-            pending = tenant.deployment.log.unprocessed()
-            if pending:
-                report.violations.append(
-                    Violation(
-                        "log_quiescent",
-                        f"{len(pending)} unprocessed log entr(ies) after "
-                        "settle",
-                        user=name,
-                    )
-                )
+            for side_label, deployment in audited:
+                where = f" (side {side_label})" if side_label else ""
 
-            # replay-idempotent.
-            journal = tenant.deployment.journal
-            for entry in tenant.deployment.log.entries():
-                log_entries += 1
-                if not entry.processed:
-                    continue  # already a log_quiescent violation
-                if entry.alert_id in journal.routed_ids:
-                    continue  # replay would hit the duplicate-incoming guard
-                kinds = [t.kind for t in per_alert.get(entry.alert_id, [])]
-                if any(k in DEAD_LETTER_KINDS for k in kinds):
-                    continue  # replay would deterministically dead-letter
-                report.violations.append(
-                    Violation(
-                        "replay_idempotent",
-                        "processed log entry is neither in routed_ids nor "
-                        f"dead-lettered (outcomes: {kinds})",
-                        user=name,
-                        alert_id=entry.alert_id,
+                # no-duplicate-acks (MAB side).
+                acks = deployment.endpoint.engine.acks
+                if acks.duplicate_count:
+                    report.violations.append(
+                        Violation(
+                            "no_duplicate_acks",
+                            f"{acks.duplicate_count} duplicate ack(s) at "
+                            f"the MAB{where}",
+                            user=name,
+                        )
                     )
-                )
+                late_acks += acks.late_count
+                unsolicited_acks += acks.unsolicited_count
+
+                # log-quiescent.  For a standby this doubles as the mirror
+                # check: an unprocessed mirrored entry after settle is work
+                # a promotion would wrongly replay.
+                pending = deployment.log.unprocessed()
+                if pending:
+                    report.violations.append(
+                        Violation(
+                            "log_quiescent",
+                            f"{len(pending)} unprocessed log entr(ies) "
+                            f"after settle{where}",
+                            user=name,
+                        )
+                    )
+
+                # replay-idempotent.
+                for entry in deployment.log.entries():
+                    log_entries += 1
+                    if not entry.processed:
+                        continue  # already a log_quiescent violation
+                    if entry.alert_id in routed_ids:
+                        continue  # replay hits the duplicate-incoming guard
+                    kinds = [t.kind for t in per_alert.get(entry.alert_id, [])]
+                    if any(k in DEAD_LETTER_KINDS for k in kinds):
+                        continue  # replay would deterministically dead-letter
+                    report.violations.append(
+                        Violation(
+                            "replay_idempotent",
+                            "processed log entry is neither in routed_ids "
+                            f"nor dead-lettered{where} (outcomes: {kinds})",
+                            user=name,
+                            alert_id=entry.alert_id,
+                        )
+                    )
 
         # no-duplicate-acks (source side: sources wait on MAB acks).
         for endpoint in source_endpoints:
@@ -284,10 +343,137 @@ class DeliveryOracle:
 
         report.checked["alerts"] = alerts_checked
         report.checked["log_entries"] = log_entries
+        if pairs_checked:
+            report.checked["pairs"] = pairs_checked
+            report.checked["promotions"] = promotions
+            report.info["forwarded_by_fenced"] = forwarded
         report.info["late_acks"] = late_acks
         report.info["unsolicited_acks"] = unsolicited_acks
         report.info["user_duplicates_discarded"] = user_duplicates
         return report
+
+    # ------------------------------------------------------------------
+    # Replication invariants
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_epoch_fencing(report: OracleReport, pair, user: str) -> None:
+        """``at_most_one_active_epoch``: no initiation under a stale epoch.
+
+        Guards consult the fencing service synchronously *before* the
+        audit record is written, so an ack/route recorded under epoch E
+        strictly after a later epoch's promotion means a guard was
+        bypassed.  Same-instant records are legal (the promotion and the
+        action raced within one kernel timestep).
+        """
+        audit = pair.audit
+        offending = []
+        for action in audit.actions:
+            if action.kind not in ("ack", "route"):
+                continue
+            for promo in audit.promotions:
+                if promo.epoch > action.epoch and action.at > promo.at:
+                    offending.append((action, promo))
+                    break
+        if offending:
+            action, promo = offending[0]
+            report.violations.append(
+                Violation(
+                    "at_most_one_active_epoch",
+                    f"{len(offending)} action(s) initiated under a fenced "
+                    f"epoch, e.g. '{action.kind}' under epoch "
+                    f"{action.epoch} at t={action.at:.1f} after epoch "
+                    f"{promo.epoch} promoted at t={promo.at:.1f}",
+                    user=user,
+                )
+            )
+
+    @staticmethod
+    def _check_cross_epoch_routes(
+        report: OracleReport,
+        pair,
+        user: str,
+        alert_id: str,
+        routed: list[ObservedOutcome],
+    ) -> None:
+        """Judge an alert with multiple terminal 'routed' trips on a pair.
+
+        Legal only as the partition carve-out: for each epoch step the
+        earlier epoch's routing pass was initiated *before* the later
+        epoch's promotion (the trip was in flight when the primary lost
+        the lease), and the alert's ``processed`` mark never reached the
+        standby before the later epoch re-routed (so the mirrored entry
+        was still unprocessed and the replay was correct).
+        """
+        audit = pair.audit
+        by_epoch: dict[Optional[int], int] = defaultdict(int)
+        for trip in routed:
+            by_epoch[trip.epoch] += 1
+        for epoch, count in sorted(
+            by_epoch.items(), key=lambda item: (item[0] is None, item[0])
+        ):
+            if count > 1 or epoch is None:
+                report.violations.append(
+                    Violation(
+                        "exactly_once",
+                        f"{count} terminal 'routed' trips under epoch "
+                        f"{epoch}",
+                        user=user,
+                        alert_id=alert_id,
+                    )
+                )
+        epochs = sorted(e for e in by_epoch if e is not None)
+        route_at = {
+            epoch: min(
+                (
+                    a.at
+                    for a in audit.actions
+                    if a.kind == "route"
+                    and a.alert_id == alert_id
+                    and a.epoch == epoch
+                ),
+                default=None,
+            )
+            for epoch in epochs
+        }
+        for earlier, later in zip(epochs, epochs[1:]):
+            promoted_at = audit.promotion_at(later)
+            earlier_at = route_at[earlier]
+            later_at = route_at[later]
+            if promoted_at is None or earlier_at is None or later_at is None:
+                report.violations.append(
+                    Violation(
+                        "no_fenced_reroute",
+                        f"routed under epochs {earlier} and {later} but "
+                        "the audit trail is missing the promotion or a "
+                        "route initiation record",
+                        user=user,
+                        alert_id=alert_id,
+                    )
+                )
+                continue
+            if earlier_at >= promoted_at:
+                report.violations.append(
+                    Violation(
+                        "no_fenced_reroute",
+                        f"epoch-{earlier} route initiated at "
+                        f"t={earlier_at:.1f}, after epoch {later} promoted "
+                        f"at t={promoted_at:.1f}",
+                        user=user,
+                        alert_id=alert_id,
+                    )
+                )
+            elif audit.mark_shipped_before(alert_id, later_at):
+                report.violations.append(
+                    Violation(
+                        "no_fenced_reroute",
+                        f"epoch {later} re-routed at t={later_at:.1f} an "
+                        "alert whose 'processed' mark had already reached "
+                        "the standby",
+                        user=user,
+                        alert_id=alert_id,
+                    )
+                )
 
 
 # ----------------------------------------------------------------------

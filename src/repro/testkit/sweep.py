@@ -109,12 +109,16 @@ def chaos_sweep(
     stage_factory: Optional[Callable[[], list]] = None,
     shrink_failures: bool = True,
     shrink_budget: int = 24,
+    replication: Optional[bool] = None,
 ) -> ChaosSweepResult:
     """Run ``trials`` random chaos trials; shrink whatever fails.
 
     ``config`` overrides the per-run parameters (its ``seed``, ``n_users``,
     ``duration`` are re-derived per trial); ``stage_factory`` plants a
-    broken pipeline in every trial — the self-test path.
+    broken pipeline in every trial — the self-test path.  ``replication``
+    flips warm-standby pairs on (or off) for every trial, overriding
+    ``config.replication``; the generator then targets primaries, standbys
+    and the ship link independently.
     """
     base = config if config is not None else ChaosRunConfig()
     result = ChaosSweepResult(seed=seed)
@@ -127,6 +131,11 @@ def chaos_sweep(
                 "n_users": n_users,
                 "duration": duration,
                 "settle": settle,
+                **(
+                    {"replication": replication}
+                    if replication is not None
+                    else {}
+                ),
             }
         )
         generator = FaultScheduleGenerator(
@@ -135,6 +144,7 @@ def chaos_sweep(
             duration=duration,
             start=run_config.start,
             intensity=intensity,
+            replication=run_config.replication,
         )
         schedule = generator.generate()
         report = run_chaos(schedule, run_config, stage_factory=stage_factory)

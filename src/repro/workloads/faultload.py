@@ -30,6 +30,10 @@ TARGET_IM_CLIENT = "im-client"
 TARGET_MAB = "mab"
 TARGET_HOST = "host"
 TARGET_SCREEN = "screen"
+#: Replication-mode targets (per tenant): the warm standby's own host and
+#: the log-ship link between the pair's hosts.
+TARGET_STANDBY_HOST = "standby-host"
+TARGET_REPLICATION_LINK = "replication-link"
 
 
 @dataclass(frozen=True)

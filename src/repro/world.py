@@ -78,15 +78,22 @@ class BuddyDeployment:
         user_name: str,
         log_path=None,
         journal_max_events: Optional[int] = None,
+        host: Optional[Host] = None,
+        config: Optional[BuddyConfig] = None,
+        rng_label: Optional[str] = None,
     ):
         self.world = world
         self.user_name = user_name
+        #: The machine this deployment runs on.  Defaults to the world's
+        #: desktop; a warm standby (repro.core.replication) passes its own
+        #: second host so the pair fails independently.
+        self.host = host if host is not None else world.host
         self.im_address = f"mab-{user_name}@im"
         self.email_address = f"mab-{user_name}@mail"
         self.endpoint = SimbaEndpoint(
             world.env,
             name=f"mab-{user_name}",
-            screen=world.host.screen,
+            screen=self.host.screen,
             im_service=world.im,
             email_service=world.email,
             sms_gateway=world.sms,
@@ -105,17 +112,20 @@ class BuddyDeployment:
                 world.env, write_latency=world.config.log_write_latency
             )
         self.journal = BuddyJournal(max_events=journal_max_events)
-        self.config = BuddyConfig(
+        # A replicated standby shares the primary's config object, so both
+        # sides see one subscription set, one classifier, one set of
+        # testkit hooks — the pair is one logical MAB.
+        self.config = config if config is not None else BuddyConfig(
             user=user_name,
             classifier=AlertClassifier(),
             aggregator=CategoryAggregator(),
             filters=FilterPolicy(),
             subscriptions=SubscriptionLayer(),
         )
-        self.rng = world.rngs.stream(f"buddy-{user_name}")
+        self.rng = world.rngs.stream(rng_label or f"buddy-{user_name}")
         self.incarnations: list[MyAlertBuddy] = []
         # Power loss / reboot kills the client software with everything else.
-        world.host.on_shutdown(
+        self.host.on_shutdown(
             lambda: self.endpoint.stop(shutdown_clients=True)
         )
 
@@ -367,7 +377,7 @@ class SimbaWorld:
     ) -> MasterDaemonController:
         mdc = MasterDaemonController(
             self.env,
-            self.host,
+            deployment.host,
             buddy_factory=deployment.make_incarnation,
             **mdc_kwargs,
         )

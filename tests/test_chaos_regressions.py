@@ -51,3 +51,20 @@ def test_outage_pin_still_has_teeth():
         CHAOS_DIR / "total_outage_pair.json", stage_factory=silent_drop_stages
     )
     assert not report.ok
+
+
+def test_failover_storm_pin_still_exercises_promotion_path():
+    """The storm pin is only worth keeping while it actually drives a
+    failover per tenant (primary crash -> standby promotion under
+    fencing) and comes back clean on the real pair."""
+    report = replay_reproducer(CHAOS_DIR / "failover_storm_fenced.json")
+    assert report.ok, report.summary()
+    assert report.promotions == {"user0": 1, "user1": 1}
+
+
+def test_failover_storm_pin_still_has_teeth():
+    report = replay_reproducer(
+        CHAOS_DIR / "failover_storm_fenced.json",
+        stage_factory=silent_drop_stages,
+    )
+    assert not report.ok

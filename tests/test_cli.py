@@ -36,4 +36,4 @@ def test_unknown_experiment_errors():
 
 
 def test_experiment_registry_complete():
-    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 11)}
+    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 12)}

@@ -1,5 +1,8 @@
 """Unit + property tests for the pessimistic log."""
 
+import json
+import logging
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -87,6 +90,23 @@ class TestPessimisticLog:
         log = PessimisticLog.load(env, tmp_path / "nope.log")
         assert len(log) == 0
 
+    def test_processed_at_survives_reload(self, tmp_path):
+        path = tmp_path / "mab.log"
+        env = Environment()
+        log = PessimisticLog(env, write_latency=0.0, path=path)
+        entry = run_append(env, log, "a1")
+
+        def later(env):
+            yield env.timeout(42.0)
+            log.mark_processed(entry.entry_id)
+
+        proc = env.process(later(env))
+        env.run(until=proc)
+
+        restored = PessimisticLog.load(Environment(), path)
+        assert restored.entry_for_alert("a1").processed
+        assert restored.entry_for_alert("a1").processed_at == 42.0
+
     @given(
         st.lists(
             st.tuples(st.integers(min_value=0, max_value=49), st.booleans()),
@@ -112,3 +132,100 @@ class TestPessimisticLog:
         # Recovery order is append order.
         ids = [e.entry_id for e in log.unprocessed()]
         assert ids == sorted(ids)
+
+
+class TestCrashedFileRecovery:
+    """Tolerant load: the file a crashed machine leaves behind."""
+
+    def _write_lines(self, path, lines):
+        path.write_text("".join(line + "\n" for line in lines))
+
+    def test_torn_tail_line_skipped_with_warning(self, tmp_path, caplog):
+        path = tmp_path / "mab.log"
+        good = json.dumps({
+            "op": "append", "entry_id": 1, "alert_id": "a1",
+            "received_at": 1.0, "payload": "p",
+        })
+        torn = '{"op": "append", "entry_id": 2, "alert_id": "a2", "rec'
+        self._write_lines(path, [good, torn])
+        with caplog.at_level(
+            logging.WARNING, logger="repro.core.pessimistic_log"
+        ):
+            log = PessimisticLog.load(Environment(), path)
+        assert len(log) == 1
+        assert log.has_seen("a1") and not log.has_seen("a2")
+        assert any("torn tail" in r.message for r in caplog.records)
+        # The torn entry never became durable, so ids continue from 1.
+        entry = run_append(log.env, log, "a3")
+        assert entry.entry_id == 2
+
+    def test_mid_file_corruption_is_a_real_error(self, tmp_path):
+        path = tmp_path / "mab.log"
+        good = json.dumps({
+            "op": "append", "entry_id": 2, "alert_id": "a2",
+            "received_at": 2.0, "payload": "p",
+        })
+        self._write_lines(path, ['{"op": "appen', good])
+        with pytest.raises(json.JSONDecodeError):
+            PessimisticLog.load(Environment(), path)
+
+    def test_orphan_processed_record_warns_and_errs_to_replay(
+        self, tmp_path, caplog
+    ):
+        path = tmp_path / "mab.log"
+        good = json.dumps({
+            "op": "append", "entry_id": 1, "alert_id": "a1",
+            "received_at": 1.0, "payload": "p",
+        })
+        orphan = json.dumps(
+            {"op": "processed", "entry_id": 7, "processed_at": 9.0}
+        )
+        self._write_lines(path, [good, orphan])
+        with caplog.at_level(
+            logging.WARNING, logger="repro.core.pessimistic_log"
+        ):
+            log = PessimisticLog.load(Environment(), path)
+        assert any("never appended" in r.message for r in caplog.records)
+        # The survivor is intact and still unprocessed — recovery replays.
+        assert [e.alert_id for e in log.unprocessed()] == ["a1"]
+
+
+class TestReplicaMirror:
+    def test_snapshot_records_rebuild_state(self):
+        env = Environment()
+        log = PessimisticLog(env, write_latency=0.0)
+        e1 = run_append(env, log, "a1", "p1")
+        run_append(env, log, "a2", "p2")
+        log.mark_processed(e1.entry_id)
+
+        mirror = PessimisticLog(Environment(), write_latency=0.0)
+        for record in log.snapshot_records():
+            mirror.apply_replica_record(record)
+        assert len(mirror) == 2
+        assert mirror.entry_for_alert("a1").processed
+        assert mirror.entry_for_alert("a1").processed_at is not None
+        assert [e.alert_id for e in mirror.unprocessed()] == ["a2"]
+        # Local appends after the re-seed do not collide with mirrored ids.
+        e3 = run_append(mirror.env, mirror, "a3")
+        assert e3.entry_id == 3
+
+    def test_apply_replica_append_idempotent(self):
+        mirror = PessimisticLog(Environment(), write_latency=0.0)
+        record = {
+            "op": "append", "entry_id": 1, "alert_id": "a1",
+            "received_at": 1.0, "payload": "p",
+        }
+        mirror.apply_replica_record(record)
+        mirror.apply_replica_record(record)
+        assert len(mirror) == 1
+
+    def test_orphan_processed_mark_skipped_with_warning(self, caplog):
+        mirror = PessimisticLog(Environment(), write_latency=0.0)
+        with caplog.at_level(
+            logging.WARNING, logger="repro.core.pessimistic_log"
+        ):
+            mirror.apply_replica_record(
+                {"op": "processed", "entry_id": 3, "processed_at": 5.0}
+            )
+        assert len(mirror) == 0
+        assert any("unknown entry" in r.message for r in caplog.records)

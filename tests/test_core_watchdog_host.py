@@ -165,6 +165,96 @@ class TestWatchdog:
         assert len(made) == 1
 
 
+class TestWatchdogEdges:
+    def test_plain_stop_leaves_buddy_running_unmonitored(self):
+        env = Environment()
+        mdc, host, made = make_mdc(env, ["healthy"])
+        mdc.start()
+        env.run(until=5 * MINUTE)
+        mdc.stop()
+        # Hand-over semantics: the incarnation keeps running...
+        assert made[0].process.is_alive
+        # ...but if it dies later, nobody restarts it.
+        made[0].process.interrupt("test kill")
+        env.run(until=30 * MINUTE)
+        assert len(made) == 1
+        assert mdc.restarts == []
+
+    def test_stop_terminate_buddy_kills_incarnation(self):
+        env = Environment()
+        mdc, host, made = make_mdc(env, ["healthy"])
+        mdc.start()
+        env.run(until=5 * MINUTE)
+        mdc.stop(terminate_buddy=True)
+        env.run(until=6 * MINUTE)
+        assert made[0].terminated == ["MDC stop"]
+        assert not made[0].process.is_alive
+        env.run(until=30 * MINUTE)
+        assert len(made) == 1, "stopped MDC relaunched a buddy"
+
+    def test_no_probe_restarts_while_host_down(self):
+        """The probe cycle is a no-op for the whole outage: monitoring
+        stops on shutdown and the boot-time relaunch is a start, not a
+        restart."""
+        env = Environment()
+        mdc, host, made = make_mdc(env, ["healthy"])
+        mdc.start()
+        env.run(until=5 * MINUTE)
+        host.power_failure(20 * MINUTE)
+        assert not mdc.running
+        assert mdc.buddy is None
+        env.run(until=24 * MINUTE)  # still down (power back 25' + 30 s boot)
+        assert mdc.restarts == []
+        env.run(until=40 * MINUTE)
+        assert made[-1].process.is_alive
+        assert mdc.restarts == []
+
+    def test_consecutive_failed_clears_after_stability_window(self):
+        env = Environment()
+        mdc, host, made = make_mdc(
+            env, ["dies-quickly", "healthy"],
+            max_failed_restarts=5, stability_window=5 * MINUTE,
+        )
+        mdc.start()
+        env.run(until=2 * MINUTE)
+        assert mdc._consecutive_failed == 1
+        env.run(until=30 * MINUTE)
+        assert mdc._consecutive_failed == 0
+
+    def test_reboot_rearms_monitoring_after_boot(self):
+        """Hitting max_failed_restarts reboots the host; the boot hook
+        must bring back a *monitoring* MDC, not just a launched buddy."""
+        env = Environment()
+        mdc, host, made = make_mdc(
+            env,
+            ["dies-quickly", "dies-quickly", "dies-quickly", "healthy"],
+            max_failed_restarts=2, stability_window=10 * MINUTE,
+        )
+        mdc.start()
+        env.run(until=40 * MINUTE)
+        assert mdc.reboots_requested == 1
+        healthy = made[-1]
+        assert healthy.process.is_alive
+        # Kill the post-reboot buddy: the re-armed monitor must notice.
+        healthy.process.interrupt("test kill")
+        env.run(until=80 * MINUTE)
+        assert made[-1] is not healthy
+        assert made[-1].process.is_alive
+        assert any(r.at > 40 * MINUTE for r in mdc.restarts)
+
+    def test_resurrection_gate_blocks_boot_relaunch(self):
+        env = Environment()
+        mdc, host, made = make_mdc(env, ["healthy"])
+        mdc.resurrection_gate = lambda: False
+        mdc.start()  # explicit start is not gated — only boot-time is
+        env.run(until=2 * MINUTE)
+        assert len(made) == 1
+        host.reboot()
+        env.run(until=30 * MINUTE)
+        assert len(made) == 1, "gated MDC relaunched at boot"
+        assert not mdc.running
+
+
 class TestHost:
     def test_defaults_up(self):
         env = Environment()

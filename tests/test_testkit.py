@@ -77,12 +77,29 @@ class TestFaultScheduleGenerator:
         assert all(t >= 300.0 for t in times)
 
     def test_full_taxonomy_reachable(self):
-        """Every FaultKind appears somewhere across a few seeds."""
+        """Every FaultKind appears somewhere across a few seeds.
+
+        The ship-link partition only exists for replicated pairs, so the
+        default generator never draws it — schedules stay bit-for-bit
+        stable for pre-replication seeds.
+        """
         intensity = ChaosIntensity(faults_per_hour=60.0)
         seen = set()
         for seed in range(12):
             gen = FaultScheduleGenerator(
                 seed=seed, users=USERS, duration=2 * HOUR, intensity=intensity
+            )
+            seen.update(f.kind for f in gen.generate())
+        assert seen == set(FaultKind) - {FaultKind.REPLICATION_LINK_DOWN}
+
+    def test_replication_taxonomy_reachable(self):
+        """Replication mode additionally reaches the ship-link partition."""
+        intensity = ChaosIntensity(faults_per_hour=60.0)
+        seen = set()
+        for seed in range(12):
+            gen = FaultScheduleGenerator(
+                seed=seed, users=USERS, duration=2 * HOUR,
+                intensity=intensity, replication=True,
             )
             seen.update(f.kind for f in gen.generate())
         assert seen == set(FaultKind)
