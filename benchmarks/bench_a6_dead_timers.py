@@ -1,0 +1,100 @@
+"""A6 — dead-timer cost of ack-heavy workloads (pytest-benchmark flavour).
+
+The delivery engine's inner loop is ``any_of([ack, guard_timeout])`` where
+the guard almost always loses.  Before timer cancellation, every resolved
+race left one dead heap entry until its (far-future) deadline; at farm
+scale that is one corpse per alert.  These benchmarks time the real
+pattern against a hand-rolled variant whose guard can never be orphaned —
+the gap is what cancellable timers buy.  The standalone runner
+(``run_kernel_bench.py``) measures the same workloads for the JSON
+artifacts and the CI regression gate.
+"""
+
+from repro.sim import Environment
+
+N_RACES = 5_000
+FANOUT = 50
+GUARD = 600.0
+
+
+def _responder(env, ack):
+    yield env.timeout(0.1)
+    ack.succeed(env.now)
+
+
+def dead_timer_races(n_races=N_RACES, fanout=FANOUT):
+    """The DeliveryRouter pattern: ack wins, guard timer gets cancelled."""
+    env = Environment()
+
+    def tenant(env, races):
+        for _ in range(races):
+            ack = env.event()
+            env.process(_responder(env, ack))
+            guard = env.timeout(GUARD)
+            yield env.any_of([ack, guard])
+
+    for _ in range(fanout):
+        env.process(tenant(env, n_races // fanout))
+    env.run()
+    return env.now
+
+
+def polluted_races(n_races=N_RACES, fanout=FANOUT):
+    """Same races, but the guard keeps a callback so it always stays live.
+
+    This reproduces the pre-cancellation kernel's heap pollution on any
+    kernel revision, giving a hardware-independent within-run baseline.
+    """
+    env = Environment()
+
+    def tenant(env, races):
+        for _ in range(races):
+            ack = env.event()
+            env.process(_responder(env, ack))
+            guard = env.timeout(GUARD)
+            race = env.event()
+
+            def settle(evt, race=race):
+                if not race.triggered:
+                    race.succeed(evt.value)
+
+            ack.callbacks.append(settle)
+            guard.callbacks.append(settle)
+            yield race
+
+    for _ in range(fanout):
+        env.process(tenant(env, n_races // fanout))
+    env.run()
+    return env.now
+
+
+def test_a6_ack_races_with_cancellation(benchmark):
+    final = benchmark(dead_timer_races)
+    # All acks land 0.1 s after their race starts; no dead guard may drag
+    # the clock to its 600 s deadline.
+    assert final < GUARD
+
+
+def test_a6_ack_races_with_heap_pollution(benchmark):
+    final = benchmark(polluted_races)
+    # The hand-rolled guards stay live, so the run drains them at 600+ s.
+    assert final >= GUARD
+
+
+def test_a6_cancellation_keeps_heap_bounded():
+    env = Environment()
+
+    def tenant(env, races):
+        for _ in range(races):
+            ack = env.event()
+            env.process(_responder(env, ack))
+            guard = env.timeout(GUARD)
+            yield env.any_of([ack, guard])
+
+    for _ in range(FANOUT):
+        env.process(tenant(env, N_RACES // FANOUT))
+    env.run()
+    # One dead guard per race would be N_RACES entries; cancellation plus
+    # compaction keeps the residue near zero.
+    assert env.queue_depth == 0
+    assert env.dead_entries <= FANOUT

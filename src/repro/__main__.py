@@ -156,19 +156,19 @@ def _e9(seed: int) -> str:
     )
 
 
-def _e10(seed: int) -> str:
+def _e10(seed: int, jobs: int | None = None) -> str:
     from repro.experiments import run_chaos_experiment
     from repro.metrics import sweep_report
 
-    result = run_chaos_experiment(seed=seed, trials=5)
+    result = run_chaos_experiment(seed=seed, trials=5, jobs=jobs)
     return sweep_report(result.sweep)
 
 
-def _e11(seed: int) -> str:
+def _e11(seed: int, jobs: int | None = None) -> str:
     from repro.experiments import run_failover_comparison
     from repro.metrics import failover_report
 
-    result = run_failover_comparison(seed=seed)
+    result = run_failover_comparison(seed=seed, jobs=jobs)
     return failover_report(result)
 
 
@@ -186,6 +186,9 @@ EXPERIMENTS = {
     "e11": ("warm-standby failover vs MDC-only", _e11),
 }
 
+#: Experiments whose sweeps accept a worker-pool size (``--jobs``).
+PARALLEL_EXPERIMENTS = frozenset({"e10", "e11"})
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -197,6 +200,11 @@ def main(argv: list[str] | None = None) -> int:
         help="experiment id (e1..e11), 'all' (e1-e8), or 'list'",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for sweep experiments (e10/e11); results are "
+        "identical to --jobs 1, just faster",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -213,13 +221,20 @@ def main(argv: list[str] | None = None) -> int:
             print(EXPERIMENTS[key][1](args.seed))
             print()
         return 0
-    entry = EXPERIMENTS.get(args.experiment.lower())
+    key = args.experiment.lower()
+    entry = EXPERIMENTS.get(key)
     if entry is None:
         parser.error(
             f"unknown experiment {args.experiment!r} "
             f"(choose from {', '.join(EXPERIMENTS)}, all, list)"
         )
-    print(entry[1](args.seed))
+    if key in PARALLEL_EXPERIMENTS:
+        print(entry[1](args.seed, jobs=args.jobs))
+    else:
+        if args.jobs is not None:
+            parser.error(f"--jobs only applies to sweep experiments "
+                         f"({', '.join(sorted(PARALLEL_EXPERIMENTS))})")
+        print(entry[1](args.seed))
     return 0
 
 

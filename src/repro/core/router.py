@@ -285,6 +285,13 @@ class DeliveryEngine:
         )
         for peer, seq in pending_keys:
             self.acks.cancel(peer, seq)
+        # Cancel the loser of the ack-vs-timeout race.  When the ack wins,
+        # the guard timer would otherwise sit in the heap until
+        # ``block.ack_timeout`` — one dead entry per delivered alert, which
+        # at farm scale dominates the queue.  (The AnyOf already cancels
+        # orphaned timers on trigger; this keeps the invariant local and
+        # explicit.)  Idempotent, and a no-op when the timeout fired.
+        timeout.cancel()
         if acked is not None:
             outcome.status = BlockStatus.SUCCESS
             outcome.acked_by = acked

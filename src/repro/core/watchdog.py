@@ -184,6 +184,10 @@ class MasterDaemonController:
             request.succeed()
             timeout = self.env.timeout(self.reply_timeout)
             yield self.env.any_of([reply, timeout])
+            # A healthy buddy replies well before the reply timeout: cancel
+            # the loser so farm-scale probing (one guard per tenant per
+            # check interval) never accumulates dead heap entries.
+            timeout.cancel()
             if not reply.processed:
                 self._restart_buddy(RestartReason.PROBE_TIMEOUT)
                 last_restart_time = self.env.now

@@ -17,11 +17,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.delivery_modes import im_ack_then_email
 from repro.core.farm import FarmProfile
 from repro.metrics.stats import Summary, summarize
 from repro.sim.clock import MINUTE
+from repro.testkit.parallel import fanout
 from repro.workloads.arrivals import poisson_arrival_times
 from repro.world import SimbaWorld, WorldConfig
 
@@ -186,12 +188,70 @@ class FarmThroughputPoint:
         return self.delivered / self.duration
 
 
+def _farm_throughput_point(spec: dict) -> FarmThroughputPoint:
+    """One sweep point (one farm size) — module-level so the A4 sweep can
+    fan points out across a process pool."""
+    n_users = spec["n_users"]
+    per_user_rate = spec["per_user_rate"]
+    duration = spec["duration"]
+    on_time = spec["on_time"]
+    seed = spec["seed"]
+    world = SimbaWorld(
+        WorldConfig(seed=seed, email_loss=0.0, sms_loss=0.0)
+    )
+    farm = world.create_farm(
+        profile=FarmProfile(accept_sources=("portal",))
+    )
+    farm.add_users(n_users)
+    source = world.create_source("portal")
+    farm.register_with(source)
+    farm.launch_all()
+
+    arrivals = sorted(
+        (at, tenant.index)
+        for tenant in farm
+        for at in poisson_arrival_times(
+            world.rngs.stream(f"arrivals-{tenant.name}"),
+            rate=per_user_rate,
+            duration=duration,
+        )
+    )
+
+    def emitter(env, arrivals=arrivals):
+        for at, index in arrivals:
+            if at > env.now:
+                yield env.timeout(at - env.now)
+            tenant = farm.tenant_at(index)
+            source.emit_to(tenant.book, "News", f"h{env.now:.0f}", "b")
+
+    world.env.process(emitter(world.env), name="farm-emitter")
+    # Generous drain window so queued alerts can finish.
+    world.run(until=duration + 30 * MINUTE)
+
+    received = farm.receipts(unique=True)
+    latencies = [r.latency for r in received]
+    return FarmThroughputPoint(
+        users=n_users,
+        offered=len(arrivals),
+        delivered=len(received),
+        duration=duration,
+        on_time_ratio=(
+            sum(1 for lat in latencies if lat <= on_time)
+            / len(arrivals)
+            if arrivals
+            else 0.0
+        ),
+        latency=summarize(latencies),
+    )
+
+
 def run_farm_throughput_sweep(
     user_counts: tuple[int, ...] = (1, 10, 50, 100),
     per_user_rate: float = 0.12,
     duration: float = 10 * MINUTE,
     on_time: float = 60.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> list[FarmThroughputPoint]:
     """A4 (farm): aggregate throughput as the tenant count grows.
 
@@ -199,57 +259,18 @@ def run_farm_throughput_sweep(
     comfortably below the single-daemon ceiling — so any throughput limit
     the sweep finds is architectural, not per-user overload.  Per-user
     arrival streams come from the world's named RNG registry, so the
-    workload for user *k* is identical at every farm size.
+    workload for user *k* is identical at every farm size — and every
+    sweep point is a fully independent world, so ``jobs > 1`` runs points
+    in parallel processes with results merged in ``user_counts`` order.
     """
-    points = []
-    for n_users in user_counts:
-        world = SimbaWorld(
-            WorldConfig(seed=seed, email_loss=0.0, sms_loss=0.0)
+    specs = [
+        dict(
+            n_users=n_users,
+            per_user_rate=per_user_rate,
+            duration=duration,
+            on_time=on_time,
+            seed=seed,
         )
-        farm = world.create_farm(
-            profile=FarmProfile(accept_sources=("portal",))
-        )
-        farm.add_users(n_users)
-        source = world.create_source("portal")
-        farm.register_with(source)
-        farm.launch_all()
-
-        arrivals = sorted(
-            (at, tenant.index)
-            for tenant in farm
-            for at in poisson_arrival_times(
-                world.rngs.stream(f"arrivals-{tenant.name}"),
-                rate=per_user_rate,
-                duration=duration,
-            )
-        )
-
-        def emitter(env, arrivals=arrivals):
-            for at, index in arrivals:
-                if at > env.now:
-                    yield env.timeout(at - env.now)
-                tenant = farm.tenant_at(index)
-                source.emit_to(tenant.book, "News", f"h{env.now:.0f}", "b")
-
-        world.env.process(emitter(world.env), name="farm-emitter")
-        # Generous drain window so queued alerts can finish.
-        world.run(until=duration + 30 * MINUTE)
-
-        received = farm.receipts(unique=True)
-        latencies = [r.latency for r in received]
-        points.append(
-            FarmThroughputPoint(
-                users=n_users,
-                offered=len(arrivals),
-                delivered=len(received),
-                duration=duration,
-                on_time_ratio=(
-                    sum(1 for lat in latencies if lat <= on_time)
-                    / len(arrivals)
-                    if arrivals
-                    else 0.0
-                ),
-                latency=summarize(latencies),
-            )
-        )
-    return points
+        for n_users in user_counts
+    ]
+    return fanout(_farm_throughput_point, specs, jobs=jobs)

@@ -53,8 +53,14 @@ def run_chaos_experiment(
     settle: float = 18 * MINUTE,
     faults_per_hour: float = 8.0,
     pin_dir: Optional[Path] = None,
+    jobs: Optional[int] = None,
 ) -> ChaosExperimentResult:
-    """Run one seeded sweep; pin shrunk reproducers of failing trials."""
+    """Run one seeded sweep; pin shrunk reproducers of failing trials.
+
+    ``jobs`` fans trials across worker processes (see
+    :func:`repro.testkit.parallel.fanout`); the sweep result — fingerprint
+    included — is identical to a sequential run's.
+    """
     intensity = ChaosIntensity(faults_per_hour=faults_per_hour)
     sweep = chaos_sweep(
         seed=seed,
@@ -63,6 +69,7 @@ def run_chaos_experiment(
         duration=duration,
         settle=settle,
         intensity=intensity,
+        jobs=jobs,
     )
     result = ChaosExperimentResult(sweep=sweep)
     if pin_dir is not None:
@@ -101,6 +108,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     parser.add_argument("--faults-per-hour", type=float, default=8.0)
     parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the sweep (default: REPRO_SWEEP_JOBS or 1)",
+    )
+    parser.add_argument(
         "--pin-dir", type=Path, default=None,
         help="write shrunk reproducers of failing trials here",
     )
@@ -128,6 +139,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             settle=args.settle_minutes * MINUTE,
             faults_per_hour=args.faults_per_hour,
             pin_dir=args.pin_dir,
+            jobs=args.jobs,
         )
         print(sweep_report(result.sweep))
         for path in result.pinned:

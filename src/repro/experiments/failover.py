@@ -29,7 +29,7 @@ the CI ``failover-smoke`` job publishes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -39,6 +39,7 @@ from repro.sim.clock import MINUTE
 from repro.sim.failures import FaultKind, ScheduledFault
 from repro.testkit.harness import EMAIL_FAST, wire_chaos_targets
 from repro.testkit.oracle import DEAD_LETTER_KINDS, DeliveryOracle
+from repro.testkit.parallel import fanout
 from repro.workloads.faultload import TARGET_HOST
 from repro.world import SimbaWorld, WorldConfig
 
@@ -196,7 +197,14 @@ def _run_variant(
             if not receipt.duplicate:
                 first_receipt.setdefault(receipt.alert_id, receipt.at)
         per_alert = by_user.get(tenant.name, {})
-        for alert_id in offered[tenant.name]:
+        # Emission order, not set order: alert ids come from a process-global
+        # counter, so their hashes (and thus set iteration order) depend on
+        # how many alerts this *process* made before the run.  Feeding the
+        # latency summary in a counter-independent order keeps the result
+        # bit-identical between in-process and forked-worker execution.
+        for alert_id in sorted(
+            offered[tenant.name], key=emitted_at.__getitem__
+        ):
             trips = per_alert.get(alert_id, [])
             routed = sum(1 for t in trips if t.kind == "routed")
             if routed > 1:
@@ -225,6 +233,11 @@ def _run_variant(
     )
 
 
+def _variant_worker(spec: dict) -> FailoverVariant:
+    """Picklable wrapper so variant runs can cross a process boundary."""
+    return _run_variant(**spec)
+
+
 def run_failover_comparison(
     seed: int = 0,
     n_users: int = 2,
@@ -235,30 +248,62 @@ def run_failover_comparison(
     mdc_check_interval: float = 60.0,
     schedule: Optional[list[ScheduledFault]] = None,
     variants: tuple[str, ...] = VARIANTS,
+    jobs: Optional[int] = None,
 ) -> FailoverResult:
     """Replay one crash schedule against each stack in ``variants``.
 
     The default runs all three; acceptance sweeps that only need the
     mdc-vs-replicated verdict pass ``("mdc", "replicated")`` and skip the
     (informational, alert-losing) solo run.
+
+    Each variant is an independent world replaying the same schedule, so
+    ``jobs > 1`` runs them in parallel worker processes; results come back
+    in ``variants`` order either way (None → ``REPRO_SWEEP_JOBS`` default).
     """
     if schedule is None:
         schedule = crash_schedule(seed, n_crashes=n_crashes, window=window)
     window_end = max(
         [5 * MINUTE + window] + [f.at + f.duration for f in schedule]
     )
-    result = FailoverResult(seed=seed, schedule=list(schedule))
-    for variant in variants:
-        result.variants.append(
-            _run_variant(
-                variant,
-                seed,
-                schedule,
-                n_users=n_users,
-                alert_period=alert_period,
-                window_end=window_end,
-                settle=settle,
-                mdc_check_interval=mdc_check_interval,
-            )
+    specs = [
+        dict(
+            variant=variant,
+            seed=seed,
+            schedule=schedule,
+            n_users=n_users,
+            alert_period=alert_period,
+            window_end=window_end,
+            settle=settle,
+            mdc_check_interval=mdc_check_interval,
         )
-    return result
+        for variant in variants
+    ]
+    return FailoverResult(
+        seed=seed,
+        schedule=list(schedule),
+        variants=fanout(_variant_worker, specs, jobs=jobs),
+    )
+
+
+def _seed_worker(spec: dict) -> FailoverResult:
+    """Picklable per-seed worker for :func:`run_failover_sweep`."""
+    return run_failover_comparison(**spec)
+
+
+def run_failover_sweep(
+    seeds: Iterable[int],
+    jobs: Optional[int] = None,
+    **kwargs,
+) -> list[FailoverResult]:
+    """The E11 acceptance sweep: one comparison per seed, merged in seed
+    order.
+
+    ``kwargs`` are forwarded to :func:`run_failover_comparison` unchanged
+    for every seed.  Seeds are independent (each builds its own worlds),
+    so ``jobs > 1`` fans them across a process pool; the merged list is
+    identical to a sequential run's.  Nested parallelism is deliberately
+    avoided: per-seed comparisons run their variants sequentially
+    (``jobs=1``) so the pool is saturated by seeds, not oversubscribed.
+    """
+    specs = [dict(kwargs, seed=seed, jobs=1) for seed in seeds]
+    return fanout(_seed_worker, specs, jobs=jobs)

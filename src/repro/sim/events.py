@@ -5,6 +5,13 @@ triggered), *triggered* (scheduled on the event queue with a value or an
 exception), and *processed* (its callbacks have run).  Processes wait on
 events by yielding them; the kernel resumes the process with the event's
 value, or throws the event's exception into it.
+
+Every class here declares ``__slots__``: the kernel allocates millions of
+events per experiment, and slotted instances are both smaller and faster
+to touch than ``__dict__``-backed ones.  A fourth, terminal state exists
+for timers only: *cancelled* (see :meth:`Timeout.cancel`) — the event's
+heap entry becomes a tombstone the kernel skips, so abandoned timers cost
+O(1) instead of polluting the queue until their deadline.
 """
 
 from __future__ import annotations
@@ -27,6 +34,8 @@ class Event:
     :attr:`callbacks` run when the kernel pops the event off its queue.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_cancelled")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
@@ -35,6 +44,9 @@ class Event:
         #: Set by :meth:`defused` consumers; a failed event whose exception
         #: nobody observed crashes the simulation (errors never pass silently).
         self._defused = False
+        #: Tombstone flag: the kernel discards cancelled queue entries
+        #: instead of processing them (only timers ever set this).
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -45,6 +57,11 @@ class Event:
     def processed(self) -> bool:
         """True once callbacks have run."""
         return self.callbacks is None
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event was withdrawn from the queue (timers only)."""
+        return self._cancelled
 
     @property
     def ok(self) -> bool:
@@ -62,7 +79,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -76,7 +93,7 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
@@ -97,14 +114,25 @@ class Event:
         """
 
     def __repr__(self) -> str:
-        state = "processed" if self.processed else (
+        state = (
+            "cancelled" if self._cancelled else
+            "processed" if self.processed else
             "triggered" if self.triggered else "pending"
         )
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
 class Timeout(Event):
-    """An event that triggers after a fixed simulated delay."""
+    """An event that triggers after a fixed simulated delay.
+
+    Unlike the base event, a timeout supports real cancellation: the
+    delivery engine races acks against guard timers, watchdogs race probe
+    replies against reply timeouts, and in both the timer usually *loses*.
+    :meth:`cancel` tombstones the queue entry so the kernel never touches
+    it again (lazy deletion; see :meth:`Environment.step`).
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
@@ -115,7 +143,21 @@ class Timeout(Event):
         self._value = value
         env.schedule(self, delay=delay)
 
+    def cancel(self) -> None:
+        """Tombstone this timer's queue entry (idempotent, O(1)).
+
+        A cancelled timeout never fires: its callbacks never run and it
+        stays unprocessed forever.  Cancelling an already-processed timer
+        is a no-op.
+        """
+        if self.callbacks is None or self._cancelled:
+            return
+        self._cancelled = True
+        self.env._note_cancelled()
+
     def __repr__(self) -> str:
+        if self._cancelled:
+            return f"<Timeout cancelled delay={self.delay!r} at {id(self):#x}>"
         return f"<Timeout delay={self.delay!r} at {id(self):#x}>"
 
 
@@ -125,7 +167,16 @@ class Condition(Event):
     Triggers when ``evaluate`` says enough children have triggered.  If any
     child fails before the condition triggers, the condition fails with that
     child's exception.
+
+    On trigger, the condition releases its losing children: its callback is
+    detached from every unprocessed child, and a child timer left with no
+    other observer is cancelled outright.  This is what keeps ack-vs-timeout
+    races (the delivery engine's inner loop) from leaking one dead timer per
+    alert into the heap.  Non-timer children are only detached, never
+    cancelled — a late failure on a still-shared child must stay observable.
     """
+
+    __slots__ = ("_events", "_evaluate", "_count")
 
     def __init__(
         self,
@@ -160,15 +211,48 @@ class Condition(Event):
         if not event.ok:
             event.defuse()
             self.fail(event.value)
+            self._release_losers()
             return
         self._count += 1
         if self._evaluate(len(self._events), self._count):
             self.succeed(self._collect())
+            self._release_losers()
+
+    def _release_losers(self) -> None:
+        """Drop this condition's claim on children that did not decide it.
+
+        Timers with no remaining observers are cancelled (tombstoned).
+        Anything else keeps its callback so late success/failure still
+        flows through :meth:`_on_child` (which defuses late failures).
+        """
+        on_child = self._on_child
+        for event in self._events:
+            if not isinstance(event, Timeout):
+                continue
+            callbacks = event.callbacks
+            if callbacks is None or event._cancelled:
+                continue
+            try:
+                callbacks.remove(on_child)
+            except ValueError:
+                pass
+            if not callbacks:
+                event.cancel()
 
     def cancel(self) -> None:
-        """Cancelling a condition cancels its still-pending children."""
+        """Cancelling a condition releases and cancels still-pending children."""
+        on_child = self._on_child
         for event in self._events:
+            callbacks = event.callbacks
+            if callbacks is None:
+                continue
+            try:
+                callbacks.remove(on_child)
+            except ValueError:
+                pass
             if not event.triggered:
+                event.cancel()
+            elif isinstance(event, Timeout) and not callbacks:
                 event.cancel()
 
     def _collect(self) -> dict[Event, Any]:
@@ -181,12 +265,14 @@ class Condition(Event):
         return {
             event: event.value
             for event in self._events
-            if event.processed and event._ok
+            if event.callbacks is None and event._ok
         }
 
 
 class AnyOf(Condition):
     """Triggers as soon as any child event triggers."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, lambda total, done: done >= 1, events)
@@ -194,6 +280,8 @@ class AnyOf(Condition):
 
 class AllOf(Condition):
     """Triggers when every child event has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, lambda total, done: done >= total, events)

@@ -1,29 +1,57 @@
 """The discrete-event simulation environment (event queue + clock).
 
-The environment owns a priority queue of ``(time, sequence, event)`` entries.
-``sequence`` is a monotonically increasing tie-breaker, so events scheduled
-for the same instant are processed in scheduling order — this, plus seeded
-randomness, makes every run bit-for-bit deterministic.
+The environment owns two queues sharing one monotonically increasing
+``sequence`` tie-breaker, so events scheduled for the same instant are
+processed in scheduling order — this, plus seeded randomness, makes every
+run bit-for-bit deterministic:
+
+- a priority heap of ``(time, sequence, event)`` entries for delayed
+  events (timers);
+- a FIFO of zero-delay entries (every ``succeed()``/``fail()`` and every
+  process resume lands here).  Zero-delay scheduling is the kernel's
+  hottest operation, and a deque append/popleft is O(1) versus the heap's
+  O(log n) — with thousands of pending timers in a farm run, that log n
+  is real money.  Entries in the FIFO carry the time they were scheduled
+  at (≤ now) and the heap never holds entries below now, so "next event"
+  is simply the smaller ``(time, sequence)`` head of the two queues: the
+  merged order is identical to a single heap's.
+
+Cancelled timers (see :meth:`~repro.sim.events.Timeout.cancel`) stay in
+the heap as *tombstones*: :meth:`step` and :meth:`peek` skip them lazily,
+and when more than half the queued entries are dead the queue is compacted
+in one O(n) pass.  Lazy deletion never reorders live entries — tombstones
+only disappear — so determinism is unaffected.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Generator, Iterable, Optional
 
 from repro.errors import SimulationError, StopSimulation
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
+_INFINITY = float("inf")
+
 
 class Environment:
     """Execution environment for a single simulation run."""
 
+    __slots__ = (
+        "_now", "_queue", "_immediate", "_sequence", "_active_process",
+        "_dead_entries",
+    )
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
+        self._immediate: deque[tuple[float, int, Event]] = deque()
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        #: Tombstoned entries still sitting in either queue.
+        self._dead_entries = 0
 
     @property
     def now(self) -> float:
@@ -34,6 +62,20 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being stepped, if any."""
         return self._active_process
+
+    @property
+    def queue_depth(self) -> int:
+        """Live (non-tombstoned) entries across both queues.
+
+        Diagnostic/test hook: after an ack-vs-timeout race resolves, the
+        loser must not linger here.
+        """
+        return len(self._queue) + len(self._immediate) - self._dead_entries
+
+    @property
+    def dead_entries(self) -> int:
+        """Tombstoned entries not yet skipped or compacted away."""
+        return self._dead_entries
 
     # ------------------------------------------------------------------
     # Factories
@@ -69,20 +111,81 @@ class Environment:
 
     def schedule(self, event: Event, delay: float = 0.0) -> None:
         """Enqueue a triggered event for processing at ``now + delay``."""
+        if delay == 0.0:
+            # Fast path: zero-delay events (succeed/fail/resume) bypass the
+            # heap.  FIFO order == sequence order, so the merged pop order
+            # is exactly what one big heap would produce.
+            self._sequence += 1
+            self._immediate.append((self._now, self._sequence, event))
+            return
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay!r})")
         self._sequence += 1
         heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
 
-    def peek(self) -> float:
-        """Time of the next queued event, or ``float('inf')`` if idle."""
-        return self._queue[0][0] if self._queue else float("inf")
+    def _note_cancelled(self) -> None:
+        """A queued entry became a tombstone; compact when they dominate."""
+        self._dead_entries += 1
+        if self._dead_entries * 2 > len(self._queue) + len(self._immediate):
+            self._compact()
 
-    def step(self) -> None:
-        """Process exactly one event from the queue."""
-        if not self._queue:
-            raise SimulationError("no events scheduled")
-        self._now, _seq, event = heapq.heappop(self._queue)
+    def _compact(self) -> None:
+        """Drop every tombstone in one pass (heapify keeps the live order:
+        pops are by the unique ``(time, sequence)`` key either way)."""
+        self._queue = [
+            entry for entry in self._queue if not entry[2]._cancelled
+        ]
+        heapq.heapify(self._queue)
+        if self._immediate:
+            self._immediate = deque(
+                entry for entry in self._immediate if not entry[2]._cancelled
+            )
+        self._dead_entries = 0
+
+    def peek(self) -> float:
+        """Time of the next *live* queued event, or ``float('inf')`` if idle.
+
+        Tombstoned (cancelled) entries at the head of either queue are
+        discarded on the way: a cancelled timer's timestamp must never be
+        acted on by ``run(until=...)`` or by harness drain loops.
+        """
+        immediate = self._immediate
+        while immediate and immediate[0][2]._cancelled:
+            immediate.popleft()
+            self._dead_entries -= 1
+        queue = self._queue
+        while queue and queue[0][2]._cancelled:
+            heapq.heappop(queue)
+            self._dead_entries -= 1
+        if immediate:
+            if queue and queue[0] < immediate[0]:
+                return queue[0][0]
+            return immediate[0][0]
+        return queue[0][0] if queue else _INFINITY
+
+    def _pop_live(self) -> Optional[tuple[float, int, Event]]:
+        """Pop the next live entry across both queues (skipping tombstones),
+        or None when nothing live remains."""
+        immediate = self._immediate
+        queue = self._queue
+        while True:
+            if immediate:
+                if queue and queue[0] < immediate[0]:
+                    entry = heapq.heappop(queue)
+                else:
+                    entry = immediate.popleft()
+            elif queue:
+                entry = heapq.heappop(queue)
+            else:
+                return None
+            if entry[2]._cancelled:
+                self._dead_entries -= 1
+                continue
+            return entry
+
+    def _process(self, entry: tuple[float, int, Event]) -> None:
+        self._now = entry[0]
+        event = entry[2]
         callbacks = event.callbacks
         event.callbacks = None
         for callback in callbacks:
@@ -91,17 +194,24 @@ class Environment:
             # A failure nobody waited on: surface it instead of losing it.
             raise event.value
 
+    def step(self) -> None:
+        """Process exactly one live event from the queue."""
+        entry = self._pop_live()
+        if entry is None:
+            raise SimulationError("no events scheduled")
+        self._process(entry)
+
     def run(self, until: Any = None) -> Any:
         """Run until ``until`` (a time or an event) or queue exhaustion.
 
-        - ``until=None``: run until no events remain.
+        - ``until=None``: run until no live events remain.
         - ``until=<number>``: run until the clock would pass that time, then
           set the clock exactly to it.
         - ``until=<Event>``: run until that event is processed and return its
           value (raising its exception if it failed).
         """
         if until is None:
-            stop_at = float("inf")
+            stop_at = _INFINITY
         elif isinstance(until, Event):
             if until.processed:
                 if not until.ok:
@@ -109,8 +219,11 @@ class Environment:
                 return until.value
             until.callbacks.append(self._stop_on_event)
             try:
-                while self._queue:
-                    self.step()
+                while True:
+                    entry = self._pop_live()
+                    if entry is None:
+                        break
+                    self._process(entry)
             except StopSimulation as stop:
                 return stop.value
             raise SimulationError(
@@ -123,9 +236,18 @@ class Environment:
                     f"cannot run until {stop_at!r}, already at {self._now!r}"
                 )
 
-        while self._queue and self._queue[0][0] <= stop_at:
-            self.step()
-        if stop_at != float("inf"):
+        while True:
+            entry = self._pop_live()
+            if entry is None:
+                break
+            if entry[0] > stop_at:
+                # Beyond the horizon: the entry can only have come from the
+                # heap (immediates are at or before ``now``), so push it
+                # back untouched — same (time, sequence) key, same order.
+                heapq.heappush(self._queue, entry)
+                break
+            self._process(entry)
+        if stop_at != _INFINITY:
             self._now = max(self._now, stop_at)
         return None
 

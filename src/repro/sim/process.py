@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.errors import Interrupt
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Environment
@@ -20,6 +20,8 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class Process(Event):
     """A running simulation process (and the event of its termination)."""
+
+    __slots__ = ("name", "_generator", "_waiting_on")
 
     def __init__(
         self,
@@ -67,9 +69,15 @@ class Process(Event):
             return  # process finished before the interrupt landed
         target = self._waiting_on
         if target is not None:
-            if self._resume in (target.callbacks or []):
-                target.callbacks.remove(self._resume)
+            callbacks = target.callbacks
+            if callbacks and self._resume in callbacks:
+                callbacks.remove(self._resume)
             if not target.triggered:
+                target.cancel()
+            elif isinstance(target, Timeout) and not callbacks:
+                # Abandoned timer with no other observer: tombstone it so
+                # the heap does not carry it to its (now meaningless)
+                # deadline.
                 target.cancel()
         self._waiting_on = None
         self._step(Interrupt(cause), ok=False)

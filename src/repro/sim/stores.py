@@ -20,6 +20,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class StorePut(Event):
     """Event for a pending put; triggers when the item is accepted."""
 
+    __slots__ = ("store", "item")
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.store = store
@@ -33,6 +35,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Event for a pending get; triggers with the retrieved item."""
+
+    __slots__ = ("store", "predicate")
 
     def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]]):
         super().__init__(store.env)

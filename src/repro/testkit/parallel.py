@@ -1,0 +1,86 @@
+"""Deterministic multiprocessing fan-out for seed sweeps.
+
+Every sweep in this repository — :func:`~repro.testkit.sweep.chaos_sweep`,
+the E11 failover acceptance sweep, the A4 farm-throughput sweep — is a map
+over independent seeded trials: each trial builds its own
+:class:`~repro.sim.kernel.Environment` from its own sub-seed, shares no
+state with its siblings, and is bit-for-bit deterministic in isolation.
+That makes the fan-out embarrassingly parallel *and* safe: running trials
+in worker processes cannot change any trial's result, only the wall-clock
+time of the whole sweep.
+
+:func:`fanout` is the one primitive: map a picklable function over a list
+of work items with a process pool, returning results **in item order**
+(``Pool.map`` semantics — completion order never leaks into the output).
+A sweep merged from N workers is therefore byte-identical to the same
+sweep run sequentially; ``tests/test_parallel_sweep.py`` pins exactly
+that.
+
+``jobs`` resolution: an explicit ``jobs`` argument wins; otherwise the
+``REPRO_SWEEP_JOBS`` environment variable (the CI hook — the
+benchmark-smoke job runs the whole pytest suite with it set to 2);
+otherwise 1 (sequential, in-process, zero multiprocessing overhead).
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import get_all_start_methods, get_context
+from typing import Callable, Iterable, Optional, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment hook for routing existing sweep call sites through the pool
+#: without threading a parameter through every caller.
+JOBS_ENV_VAR = "REPRO_SWEEP_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not pass ``jobs`` (≥ 1)."""
+    raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` argument: None → environment default."""
+    if jobs is None:
+        return default_jobs()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+    return jobs
+
+
+def fanout(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: Optional[int] = None,
+) -> list[R]:
+    """Map ``fn`` over ``items``; results come back in item order.
+
+    With ``jobs <= 1`` (or fewer than two items) this is a plain in-process
+    loop — the zero-overhead path, and the reference behaviour the parallel
+    path must reproduce exactly.  With ``jobs > 1`` the items are spread
+    over a process pool, one item per task (``chunksize=1``: trials are
+    seconds-long sims, so scheduling overhead is noise and the pool
+    load-balances trials of uneven duration).
+
+    ``fn`` and each item/result must be picklable when ``jobs > 1`` (they
+    cross a process boundary): module-level functions and plain dataclasses
+    qualify, lambdas and closures do not.
+    """
+    work = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    # Fork keeps worker start cheap and inherits the loaded modules; fall
+    # back to spawn where fork is unavailable (Windows, some macOS setups).
+    method = "fork" if "fork" in get_all_start_methods() else "spawn"
+    context = get_context(method)
+    with context.Pool(processes=min(jobs, len(work))) as pool:
+        return pool.map(fn, work, chunksize=1)

@@ -9,7 +9,11 @@ is a full run) which callers can pin via
 
 Reproducibility contract: ``chaos_sweep(seed=N, ...)`` is bit-for-bit
 deterministic — :meth:`ChaosSweepResult.fingerprint` over two sweeps with
-identical arguments is identical.
+identical arguments is identical.  Trials are mutually independent (each
+builds its own world from its own sub-seed), so ``jobs > 1`` fans them
+out across a :func:`~repro.testkit.parallel.fanout` process pool and
+merges results in trial-index order: the merged sweep — fingerprint
+included — is identical to the sequential one, it just finishes sooner.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from repro.sim.clock import HOUR, MINUTE
 from repro.sim.failures import ScheduledFault
 from repro.testkit.generator import ChaosIntensity, FaultScheduleGenerator
 from repro.testkit.harness import ChaosReport, ChaosRunConfig, run_chaos
+from repro.testkit.parallel import fanout
 from repro.testkit.schedule import Reproducer, make_reproducer
 from repro.testkit.shrink import ShrinkResult, shrink
 
@@ -98,6 +103,68 @@ class ChaosSweepResult:
         return "\n".join(lines)
 
 
+@dataclass
+class _TrialSpec:
+    """Everything one worker needs to run one trial (fully picklable when
+    ``intensity``/``stage_factory`` are — module-level factories qualify,
+    closures do not)."""
+
+    sweep_seed: int
+    index: int
+    sub_seed: int
+    run_config: ChaosRunConfig
+    n_users: int
+    duration: float
+    intensity: Optional[ChaosIntensity]
+    stage_factory: Optional[Callable[[], list]]
+    shrink_failures: bool
+    shrink_budget: int
+
+
+def _run_trial(spec: _TrialSpec) -> ChaosTrial:
+    """Run one seeded trial end to end (generate → replay → shrink)."""
+    run_config = spec.run_config
+    generator = FaultScheduleGenerator(
+        seed=spec.sub_seed,
+        users=[f"user{i}" for i in range(spec.n_users)],
+        duration=spec.duration,
+        start=run_config.start,
+        intensity=spec.intensity,
+        replication=run_config.replication,
+    )
+    schedule = generator.generate()
+    report = run_chaos(schedule, run_config, stage_factory=spec.stage_factory)
+    trial = ChaosTrial(
+        index=spec.index,
+        seed=spec.sub_seed,
+        schedule_size=len(schedule),
+        ok=report.ok,
+        violations=[str(v) for v in report.oracle.violations],
+        fingerprint=report.fingerprint(),
+        report=report,
+    )
+    if not report.ok and spec.shrink_failures and schedule:
+        def still_fails(candidate: list[ScheduledFault]) -> bool:
+            probe = run_chaos(
+                candidate, run_config, stage_factory=spec.stage_factory
+            )
+            return not probe.ok
+
+        trial.shrink_result = shrink(
+            schedule, still_fails, max_trials=spec.shrink_budget
+        )
+        trial.reproducer = make_reproducer(
+            report,
+            trial.shrink_result.schedule,
+            note=(
+                f"sweep seed={spec.sweep_seed} trial={spec.index}: shrunk "
+                f"{trial.shrink_result.original_size} → "
+                f"{len(trial.shrink_result.schedule)} faults"
+            ),
+        )
+    return trial
+
+
 def chaos_sweep(
     seed: int = 0,
     trials: int = 5,
@@ -110,6 +177,7 @@ def chaos_sweep(
     shrink_failures: bool = True,
     shrink_budget: int = 24,
     replication: Optional[bool] = None,
+    jobs: Optional[int] = None,
 ) -> ChaosSweepResult:
     """Run ``trials`` random chaos trials; shrink whatever fails.
 
@@ -119,9 +187,14 @@ def chaos_sweep(
     flips warm-standby pairs on (or off) for every trial, overriding
     ``config.replication``; the generator then targets primaries, standbys
     and the ship link independently.
+
+    ``jobs`` fans trials out across worker processes (None → the
+    ``REPRO_SWEEP_JOBS`` environment default, 1 → sequential).  Results are
+    merged in trial order and are identical to a sequential sweep's; with
+    ``jobs > 1``, ``stage_factory``/``intensity`` must be picklable.
     """
     base = config if config is not None else ChaosRunConfig()
-    result = ChaosSweepResult(seed=seed)
+    specs = []
     for index in range(trials):
         sub_seed = trial_seed(seed, index)
         run_config = ChaosRunConfig(
@@ -138,43 +211,20 @@ def chaos_sweep(
                 ),
             }
         )
-        generator = FaultScheduleGenerator(
-            seed=sub_seed,
-            users=[f"user{i}" for i in range(n_users)],
-            duration=duration,
-            start=run_config.start,
-            intensity=intensity,
-            replication=run_config.replication,
-        )
-        schedule = generator.generate()
-        report = run_chaos(schedule, run_config, stage_factory=stage_factory)
-        trial = ChaosTrial(
-            index=index,
-            seed=sub_seed,
-            schedule_size=len(schedule),
-            ok=report.ok,
-            violations=[str(v) for v in report.oracle.violations],
-            fingerprint=report.fingerprint(),
-            report=report,
-        )
-        if not report.ok and shrink_failures and schedule:
-            def still_fails(candidate: list[ScheduledFault]) -> bool:
-                probe = run_chaos(
-                    candidate, run_config, stage_factory=stage_factory
-                )
-                return not probe.ok
-
-            trial.shrink_result = shrink(
-                schedule, still_fails, max_trials=shrink_budget
+        specs.append(
+            _TrialSpec(
+                sweep_seed=seed,
+                index=index,
+                sub_seed=sub_seed,
+                run_config=run_config,
+                n_users=n_users,
+                duration=duration,
+                intensity=intensity,
+                stage_factory=stage_factory,
+                shrink_failures=shrink_failures,
+                shrink_budget=shrink_budget,
             )
-            trial.reproducer = make_reproducer(
-                report,
-                trial.shrink_result.schedule,
-                note=(
-                    f"sweep seed={seed} trial={index}: shrunk "
-                    f"{trial.shrink_result.original_size} → "
-                    f"{len(trial.shrink_result.schedule)} faults"
-                ),
-            )
-        result.trials.append(trial)
-    return result
+        )
+    return ChaosSweepResult(
+        seed=seed, trials=fanout(_run_trial, specs, jobs=jobs)
+    )

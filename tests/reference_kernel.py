@@ -1,0 +1,433 @@
+"""Frozen pre-optimization reference kernel (single-heap, no tombstones).
+
+A verbatim concatenation of ``repro.sim.{events,kernel,process}`` as they
+stood *before* the fast-path work (cancellable timers, ``__slots__``, the
+zero-delay deque, lazy tombstone deletion).  The property test in
+``test_kernel_equivalence.py`` replays randomized schedules through this
+kernel and the optimized one and asserts identical observable behaviour:
+same process resume times, same values, same clock at every checkpoint.
+
+Imports of ``repro.errors`` are the only dependency kept live — the error
+types are shared so exceptions compare naturally across kernels.  Do not
+"fix" or modernize this module: its value is that it does NOT change.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import EventAlreadyTriggered, Interrupt, SimulationError, StopSimulation
+
+_PENDING = object()
+
+
+class Event:
+    """A condition that processes can wait for.
+
+    Events are triggered exactly once, either with :meth:`succeed` (carrying
+    a value) or :meth:`fail` (carrying an exception).  Callbacks attached via
+    :attr:`callbacks` run when the kernel pops the event off its queue.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        #: Set by :meth:`defused` consumers; a failed event whose exception
+        #: nobody observed crashes the simulation (errors never pass silently).
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        if not self.triggered:
+            raise AttributeError("event is not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value (or exception instance) the event was triggered with."""
+        if self._value is _PENDING:
+            raise AttributeError("event is not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception propagates into every process waiting on the event.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as observed so it will not crash the run."""
+        self._defused = True
+
+    def cancel(self) -> None:
+        """Withdraw this event from whatever resource is backing it.
+
+        Called when a process waiting on the event is interrupted: the wait
+        is over, so the event must not consume anything on the waiter's
+        behalf (e.g. a StoreGet must leave the store's queue, or it would
+        swallow the next item into a void).  Base events need no cleanup.
+        """
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r} at {id(self):#x}>"
+
+
+class Condition(Event):
+    """Composite event over a set of child events.
+
+    Triggers when ``evaluate`` says enough children have triggered.  If any
+    child fails before the condition triggers, the condition fails with that
+    child's exception.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[int, int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("cannot mix events from different environments")
+        if not self._events:
+            self.succeed(self._collect())
+            return
+        for event in self._events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                # A late failure after the condition already triggered must
+                # still be observed somewhere; defuse it because the condition
+                # is done and no waiter can see it.
+                event.defuse()
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._evaluate(len(self._events), self._count):
+            self.succeed(self._collect())
+
+    def cancel(self) -> None:
+        """Cancelling a condition cancels its still-pending children."""
+        for event in self._events:
+            if not event.triggered:
+                event.cancel()
+
+    def _collect(self) -> dict[Event, Any]:
+        """Snapshot of values from the children processed so far.
+
+        ``processed`` (not ``triggered``) is the right filter: a Timeout is
+        triggered from construction, but only events whose callbacks have run
+        have actually *happened* by the time the condition fires.
+        """
+        return {
+            event: event.value
+            for event in self._events
+            if event.processed and event._ok
+        }
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any child event triggers."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda total, done: done >= 1, events)
+
+
+class AllOf(Condition):
+    """Triggers when every child event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda total, done: done >= total, events)
+
+
+class Process(Event):
+    """A running simulation process (and the event of its termination)."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "throw"):
+            raise TypeError(
+                f"process target must be a generator, got {generator!r}"
+            )
+        super().__init__(env)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        #: The event this process is currently waiting on (None while running).
+        self._waiting_on: Optional[Event] = None
+        # Kick-start the process at the current simulation time.
+        init = Event(env)
+        init.succeed()
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`~repro.errors.Interrupt` into the process.
+
+        Used for crash/kill injection and for cancelling waits.  Interrupting
+        a finished process is an error; interrupting a process that is mid-
+        resume is delivered at its next suspension point.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        if self is self.env.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        # Deliver via a zero-delay event so interrupts obey queue ordering.
+        trigger = Event(self.env)
+        trigger.succeed()
+        trigger.callbacks.append(lambda _evt: self._deliver_interrupt(cause))
+
+    def _deliver_interrupt(self, cause: Any) -> None:
+        if not self.is_alive:
+            return  # process finished before the interrupt landed
+        target = self._waiting_on
+        if target is not None:
+            if self._resume in (target.callbacks or []):
+                target.callbacks.remove(self._resume)
+            if not target.triggered:
+                target.cancel()
+        self._waiting_on = None
+        self._step(Interrupt(cause), ok=False)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self._step(event.value, ok=event.ok)
+        if not event.ok:
+            event.defuse()
+
+    def _step(self, value: Any, ok: bool) -> None:
+        """Advance the generator one yield and wire up the next wait."""
+        self.env._active_process = self
+        try:
+            if ok:
+                target = self._generator.send(value)
+            else:
+                target = self._generator.throw(value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self._ok = False
+            self._value = exc
+            self.env.schedule(self)
+            return
+        finally:
+            self.env._active_process = None
+
+        if not isinstance(target, Event):
+            message = TypeError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+            self._step(message, ok=False)
+            return
+        if target.processed:
+            # Already-processed events resume the process on the next tick so
+            # that a tight loop over completed events cannot starve the queue.
+            rearm = Event(self.env)
+            rearm._ok = target.ok
+            rearm._value = target.value
+            self.env.schedule(rearm)
+            if not target.ok:
+                target.defuse()
+                rearm._defused = True
+            self._waiting_on = rearm
+            rearm.callbacks.append(self._resume)
+            return
+        self._waiting_on = target
+        target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        status = "alive" if self.is_alive else "finished"
+        return f"<Process {self.name!r} {status}>"
+
+
+class Environment:
+    """Execution environment for a single simulation run."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` does."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have."""
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue a triggered event for processing at ``now + delay``."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    def peek(self) -> float:
+        """Time of the next queued event, or ``float('inf')`` if idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the queue."""
+        if not self._queue:
+            raise SimulationError("no events scheduled")
+        self._now, _seq, event = heapq.heappop(self._queue)
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody waited on: surface it instead of losing it.
+            raise event.value
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (a time or an event) or queue exhaustion.
+
+        - ``until=None``: run until no events remain.
+        - ``until=<number>``: run until the clock would pass that time, then
+          set the clock exactly to it.
+        - ``until=<Event>``: run until that event is processed and return its
+          value (raising its exception if it failed).
+        """
+        if until is None:
+            stop_at = float("inf")
+        elif isinstance(until, Event):
+            if until.processed:
+                if not until.ok:
+                    raise until.value
+                return until.value
+            until.callbacks.append(self._stop_on_event)
+            try:
+                while self._queue:
+                    self.step()
+            except StopSimulation as stop:
+                return stop.value
+            raise SimulationError(
+                "run(until=event) exhausted the queue before the event fired"
+            )
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(
+                    f"cannot run until {stop_at!r}, already at {self._now!r}"
+                )
+
+        while self._queue and self._queue[0][0] <= stop_at:
+            self.step()
+        if stop_at != float("inf"):
+            self._now = max(self._now, stop_at)
+        return None
+
+    @staticmethod
+    def _stop_on_event(event: Event) -> None:
+        if not event.ok:
+            event.defuse()
+            raise event.value
+        raise StopSimulation(event.value)

@@ -307,3 +307,40 @@ class TestAckTableClassification:
         assert table.resolve("peer@im", 1) is True
         assert table.resolved_count == 2
         assert table.duplicate_count == 0
+
+
+class TestGuardTimerHygiene:
+    """Regression: a resolved ack race must not leave its guard timer live.
+
+    Before timer cancellation existed, every acked block left its
+    ``ack_timeout`` Timeout sitting in the heap until the deadline — at
+    farm scale, one dead timer per alert.  The race loser must now be a
+    tombstone the moment the block resolves.
+    """
+
+    def test_ack_win_leaves_no_live_guard_timer(self):
+        rig = Rig()
+        rig.auto_acker(delay=0.2)
+        outcome = rig.execute(im_ack_mode(timeout=600.0), rig.book())
+        assert outcome.delivered
+        assert outcome.delivered_via == 0
+        # The 600 s guard lost the race at t~1.0; nothing live may remain
+        # at its deadline (rig background loops run on much shorter timers).
+        live_times = [e[0] for e in rig.env._queue if not e[2]._cancelled]
+        assert all(t < 600.0 for t in live_times), live_times
+
+    def test_many_acked_blocks_keep_queue_depth_bounded(self):
+        rig = Rig()
+        rig.auto_acker(delay=0.1)
+        for _ in range(10):
+            outcome = rig.execute(im_ack_mode(timeout=900.0), rig.book())
+            assert outcome.delivered_via == 0
+        # Ten resolved races: every dead guard (deadline >= 900 s) must be a
+        # tombstone, and compaction must keep the dead count bounded instead
+        # of letting one corpse per alert accumulate.
+        live_guards = [
+            e for e in rig.env._queue
+            if not e[2]._cancelled and e[0] >= 900.0
+        ]
+        assert live_guards == []
+        assert rig.env.dead_entries <= rig.env.queue_depth + 1

@@ -12,7 +12,7 @@ storm generator (primary crash, then standby crash mid-promotion, with
 link partitions) must survive the full pair-aware oracle.
 """
 
-from repro.experiments.failover import run_failover_comparison
+from repro.experiments.failover import run_failover_sweep
 from repro.sim.clock import MINUTE
 from repro.testkit import ChaosIntensity, chaos_sweep
 
@@ -21,16 +21,16 @@ N_TRIALS = 25
 
 class TestFailoverAcceptanceSweep:
     def test_replicated_pair_beats_mdc_on_25_crash_schedules(self):
+        results = run_failover_sweep(
+            seeds=range(N_TRIALS),
+            n_users=2,
+            n_crashes=1,
+            window=12 * MINUTE,
+            settle=10 * MINUTE,
+            variants=("mdc", "replicated"),
+        )
         failures = []
-        for seed in range(N_TRIALS):
-            result = run_failover_comparison(
-                seed=seed,
-                n_users=2,
-                n_crashes=1,
-                window=12 * MINUTE,
-                settle=10 * MINUTE,
-                variants=("mdc", "replicated"),
-            )
+        for seed, result in enumerate(results):
             replicated = result.variant("replicated")
             mdc = result.variant("mdc")
             problems = []

@@ -1,0 +1,119 @@
+"""The parallel-sweep contract: N workers, bit-identical results.
+
+Every sweep layered on :func:`repro.testkit.parallel.fanout` promises that
+``jobs > 1`` changes wall-clock time and nothing else.  These tests run
+each sweep both ways and compare the *entire* result — fingerprints for
+chaos sweeps (they digest every trial), dataclass equality for the
+failover and farm sweeps — plus the fanout primitive's own semantics.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_farm_throughput_sweep
+from repro.experiments.failover import run_failover_comparison
+from repro.sim.clock import MINUTE
+from repro.testkit import chaos_sweep
+from repro.testkit.parallel import (
+    JOBS_ENV_VAR,
+    default_jobs,
+    fanout,
+    resolve_jobs,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three")
+    return x
+
+
+class TestFanoutPrimitive:
+    def test_results_come_back_in_item_order(self):
+        items = list(range(17))
+        assert fanout(_square, items, jobs=4) == [x * x for x in items]
+
+    def test_sequential_path_matches_parallel(self):
+        items = [5, 1, 9, 2]
+        assert fanout(_square, items, jobs=1) == fanout(_square, items, jobs=3)
+
+    def test_single_item_skips_the_pool(self):
+        assert fanout(_square, [7], jobs=8) == [49]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="three"):
+            fanout(_fail_on_three, [1, 2, 3], jobs=2)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+    def test_env_var_supplies_default(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert default_jobs() == 3
+        assert resolve_jobs(None) == 3
+        monkeypatch.setenv(JOBS_ENV_VAR, "not-a-number")
+        assert default_jobs() == 1
+        monkeypatch.delenv(JOBS_ENV_VAR)
+        assert default_jobs() == 1
+
+
+class TestChaosSweepParallel:
+    KWARGS = dict(
+        seed=11,
+        trials=3,
+        n_users=2,
+        duration=20 * MINUTE,
+        settle=10 * MINUTE,
+        shrink_failures=False,
+    )
+
+    def test_two_workers_bit_identical_to_sequential(self):
+        sequential = chaos_sweep(jobs=1, **self.KWARGS)
+        parallel = chaos_sweep(jobs=2, **self.KWARGS)
+        assert sequential.fingerprint() == parallel.fingerprint()
+        assert [t.ok for t in sequential.trials] == [
+            t.ok for t in parallel.trials
+        ]
+
+    def test_env_var_routes_existing_call_sites(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "2")
+        via_env = chaos_sweep(**self.KWARGS)  # jobs=None -> env default
+        monkeypatch.delenv(JOBS_ENV_VAR)
+        sequential = chaos_sweep(**self.KWARGS)
+        assert via_env.fingerprint() == sequential.fingerprint()
+
+
+class TestFailoverSweepParallel:
+    def test_parallel_variants_identical_to_sequential(self):
+        kwargs = dict(
+            seed=4,
+            n_users=2,
+            n_crashes=1,
+            window=10 * MINUTE,
+            settle=8 * MINUTE,
+            variants=("mdc", "replicated"),
+        )
+        sequential = run_failover_comparison(jobs=1, **kwargs)
+        parallel = run_failover_comparison(jobs=2, **kwargs)
+        # FailoverVariant/Summary/ScheduledFault are plain dataclasses:
+        # full structural equality, not just headline numbers.
+        assert sequential.variants == parallel.variants
+        assert sequential.schedule == parallel.schedule
+
+
+class TestFarmThroughputSweepParallel:
+    def test_parallel_points_identical_to_sequential(self):
+        kwargs = dict(
+            user_counts=(1, 5),
+            per_user_rate=0.05,
+            duration=4 * MINUTE,
+            seed=3,
+        )
+        sequential = run_farm_throughput_sweep(jobs=1, **kwargs)
+        parallel = run_farm_throughput_sweep(jobs=2, **kwargs)
+        assert sequential == parallel
+        assert [p.users for p in parallel] == [1, 5]

@@ -318,9 +318,11 @@ def test_interrupted_process_can_continue():
     target = env.process(victim(env))
     env.process(killer(env, target))
     env.run()
-    # The abandoned 100 s timeout still drains the queue at t=100, but the
-    # victim resumed at t=6 — interruption cancelled the wait, not the event.
+    # Interruption cancels the wait; the abandoned 100 s timeout is
+    # tombstoned (nobody else observes it), so the run ends at t=6 instead
+    # of draining the dead timer at t=100.
     assert trace == [("caught", 5.0), ("resumed", 6.0)]
+    assert env.now == 6.0
 
 
 def test_process_is_alive_lifecycle():
@@ -479,3 +481,220 @@ def test_run_until_inf_equivalent_to_none():
     env.process(proc(env))
     env.run(until=None)
     assert done == [3.0]
+
+
+# ----------------------------------------------------------------------
+# Cancellable timers, tombstones, and the zero-delay fast path
+# ----------------------------------------------------------------------
+
+
+def test_cancelled_timeout_never_fires():
+    env = Environment()
+    fired = []
+    timer = env.timeout(10.0)
+    timer.callbacks.append(lambda evt: fired.append(env.now))
+    timer.cancel()
+    env.run()
+    assert fired == []
+    assert timer.cancelled
+    assert not timer.processed
+    assert env.now == 0.0  # nothing live was ever in the queue
+
+
+def test_timeout_cancel_is_idempotent():
+    env = Environment()
+    timer = env.timeout(5.0)
+    timer.cancel()
+    timer.cancel()  # second cancel must not corrupt the dead-entry count
+    assert env.dead_entries <= 1
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_cancel_after_processing_is_noop():
+    env = Environment()
+    timer = env.timeout(1.0)
+    env.run()
+    assert timer.processed
+    timer.cancel()
+    assert not timer.cancelled
+
+
+def test_peek_skips_tombstoned_entries():
+    env = Environment()
+    near = env.timeout(5.0)
+    env.timeout(10.0)
+    assert env.peek() == 5.0
+    near.cancel()
+    assert env.peek() == 10.0
+
+
+def test_peek_all_tombstones_reports_idle():
+    env = Environment()
+    timers = [env.timeout(float(i + 1)) for i in range(4)]
+    for timer in timers:
+        timer.cancel()
+    assert env.peek() == float("inf")
+    assert env.queue_depth == 0
+
+
+def test_queue_depth_excludes_tombstones():
+    env = Environment()
+    timers = [env.timeout(float(i + 10)) for i in range(6)]
+    assert env.queue_depth == 6
+    timers[0].cancel()
+    timers[1].cancel()
+    assert env.queue_depth == 4
+
+
+def test_compaction_purges_dominating_tombstones():
+    env = Environment()
+    timers = [env.timeout(float(i + 1)) for i in range(20)]
+    # Cancel more than half: the compaction threshold must trip and throw
+    # the dead entries away wholesale (the 11th cancel tips 2*dead over the
+    # queue length; the 12th lands after the purge).
+    for timer in timers[:12]:
+        timer.cancel()
+    assert env.dead_entries <= 1  # compacted mid-loop, not accumulating 12
+    assert env.queue_depth == 8
+    order = []
+    env.timeout(0.5).callbacks.append(lambda evt: order.append(env.now))
+    env.run()
+    # Compaction must not disturb the live timers' order or times.
+    assert order == [0.5]
+    assert env.now == 20.0
+
+
+def test_anyof_cancels_losing_timer():
+    env = Environment()
+
+    def proc(env):
+        fast = env.timeout(1.0, value="fast")
+        slow = env.timeout(100.0, value="slow")
+        result = yield env.any_of([fast, slow])
+        return (list(result.values()), slow)
+
+    p = env.process(proc(env))
+    env.run(until=p)
+    values, slow = p.value
+    assert values == ["fast"]
+    # The losing guard timer was tombstoned, not left to pollute the heap.
+    assert slow.cancelled
+    assert env.peek() == float("inf")
+    env.run()
+    assert env.now == 1.0
+
+
+def test_anyof_keeps_timer_shared_with_another_waiter():
+    env = Environment()
+    resumed = []
+
+    def racer(env, slow):
+        fast = env.timeout(1.0, value="fast")
+        yield env.any_of([fast, slow])
+
+    def patient(env, slow):
+        yield slow
+        resumed.append(env.now)
+
+    slow = env.timeout(50.0, value="slow")
+    env.process(racer(env, slow))
+    env.process(patient(env, slow))
+    env.run()
+    # The race resolved at t=1 but the timer had another observer: it must
+    # still fire for the patient waiter.
+    assert resumed == [50.0]
+
+
+def test_allof_failure_cancels_orphaned_guard():
+    env = Environment()
+    bad = env.event()
+    caught = []
+
+    def proc(env):
+        guard = env.timeout(500.0)
+        try:
+            yield env.all_of([bad, guard])
+        except ValueError:
+            caught.append(env.now)
+
+    def firer(env):
+        yield env.timeout(2.0)
+        bad.fail(ValueError("child died"))
+
+    env.process(proc(env))
+    env.process(firer(env))
+    env.run()
+    assert caught == [2.0]
+    # The guard timer lost its only observer when the condition failed.
+    assert env.now == 2.0
+
+
+def test_interrupt_tombstones_abandoned_timer():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(1000.0)
+        except Interrupt:
+            pass
+
+    def killer(env, target):
+        yield env.timeout(3.0)
+        target.interrupt()
+
+    target = env.process(victim(env))
+    env.process(killer(env, target))
+    env.run()
+    assert env.now == 3.0
+    assert env.queue_depth == 0
+
+
+def test_zero_delay_merges_with_heap_in_sequence_order():
+    env = Environment()
+    order = []
+
+    def waiter(env, evt, tag):
+        yield evt
+        order.append((tag, env.now))
+
+    evt = env.event()
+
+    def first_timer(env):
+        yield env.timeout(5.0)
+        order.append(("timer1", env.now))
+        evt.succeed()  # zero-delay: lands on the fast path at t=5
+
+    def second_timer(env):
+        yield env.timeout(5.0)
+        order.append(("timer2", env.now))
+
+    env.process(first_timer(env))
+    env.process(second_timer(env))
+    env.process(waiter(env, evt, "woken"))
+    env.run()
+    # Both timers were scheduled before the zero-delay resume, so sequence
+    # order puts them first even though all three share t=5.
+    assert order == [("timer1", 5.0), ("timer2", 5.0), ("woken", 5.0)]
+
+
+def test_determinism_unaffected_by_cancellations():
+    def build_and_run(with_cancel):
+        env = Environment()
+        trace = []
+
+        def worker(env, name, period):
+            while env.now < 30.0:
+                guard = env.timeout(period * 10)
+                tick = env.timeout(period)
+                yield env.any_of([tick, guard])
+                trace.append((round(env.now, 6), name))
+                if with_cancel:
+                    guard.cancel()  # explicit cancel on top of auto-release
+
+        env.process(worker(env, "x", 3.0))
+        env.process(worker(env, "y", 7.0))
+        env.run(until=40.0)
+        return trace
+
+    assert build_and_run(True) == build_and_run(False)
