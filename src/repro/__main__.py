@@ -5,6 +5,9 @@ Usage::
     python -m repro list           # show available experiments
     python -m repro e1 [--seed N]  # run one experiment
     python -m repro all            # run E1-E8 (E9 is slow; run explicitly)
+    python -m repro trace --reproducer <pinned.json>
+                                   # replay traced; dump one alert's span
+                                   # tree + latency attribution
 """
 
 from __future__ import annotations
@@ -172,6 +175,84 @@ def _e11(seed: int, jobs: int | None = None) -> str:
     return failover_report(result)
 
 
+def _score_trace(spans) -> tuple:
+    """Interest score for --alert auto: prefer the trace that exercised the
+    most machinery (failover handoffs, then fallback blocks, then sheer
+    span count)."""
+    handoffs = sum(1 for s in spans if s.name == "failover.handoff")
+    fallbacks = sum(
+        1
+        for s in spans
+        if s.name == "block" and s.annotations.get("index", 0) > 0
+    )
+    return (handoffs, fallbacks, len(spans))
+
+
+def _run_trace_command(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Replay a pinned chaos reproducer with tracing on and "
+        "render one alert's causal span tree plus latency attribution.",
+    )
+    parser.add_argument(
+        "--reproducer", required=True,
+        help="pinned reproducer JSON (see tests/data/chaos, "
+        "tests/data/trace)",
+    )
+    parser.add_argument(
+        "--alert", default="auto",
+        help="alert id to render, or 'auto' (default) for the most "
+        "eventful trace",
+    )
+    parser.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="also write the full span record as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.metrics.trace_report import trace_report
+    from repro.obs import (
+        LIFECYCLE_PREFIX,
+        attribute_spans,
+        render_attribution,
+        render_span_tree,
+    )
+    from repro.testkit.schedule import replay_reproducer
+
+    report = replay_reproducer(args.reproducer, trace=True)
+    sink = report.trace
+    print(report.summary())
+    print()
+
+    alert_ids = [
+        t for t in sink.trace_ids() if not t.startswith(LIFECYCLE_PREFIX)
+    ]
+    if not alert_ids:
+        print("(run recorded no alert traces)")
+        return 1
+    if args.alert == "auto":
+        chosen = max(alert_ids, key=lambda t: _score_trace(sink.spans(t)))
+    elif args.alert in alert_ids:
+        chosen = args.alert
+    else:
+        parser.error(
+            f"unknown alert {args.alert!r}; traced: {', '.join(alert_ids)}"
+        )
+    spans = sink.spans(chosen)
+    print(render_span_tree(spans, title=chosen))
+    print()
+    print(render_attribution(attribute_spans(spans)))
+    print()
+    print(trace_report(sink))
+
+    if args.json_out is not None:
+        from pathlib import Path
+
+        Path(args.json_out).write_text(sink.to_json() + "\n")
+        print(f"\nwrote {args.json_out}")
+    return 0
+
+
 EXPERIMENTS = {
     "e1": ("one-way IM < 1 s", _e1),
     "e2": ("logged ack ~1.5 s", _e2),
@@ -195,9 +276,15 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro",
         description="Reproduce the SIMBA paper's experiments.",
     )
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        # The trace forensics command has its own flags; hand it the rest.
+        return _run_trace_command(argv[1:])
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e11), 'all' (e1-e8), or 'list'",
+        help="experiment id (e1..e11), 'all' (e1-e8), 'list', or 'trace' "
+        "(span-tree forensics; see python -m repro trace --help)",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(

@@ -61,6 +61,9 @@ class IncomingAlert:
     attempts: int = 0
     #: When retrying, only these subscribers still need delivery.
     retry_users: Optional[frozenset[str]] = None
+    #: Tracing only: span id the next pipeline trip should parent under
+    #: (the receive span, a retry's trip, a failover handoff...).
+    trace_parent: Optional[int] = None
 
 
 def make_ack_body(seq: int, epoch: Optional[int] = None) -> str:
@@ -208,7 +211,11 @@ class SimbaEndpoint:
     # ------------------------------------------------------------------
 
     def deliver_alert(
-        self, alert: Alert, mode: DeliveryMode, book: AddressBook
+        self,
+        alert: Alert,
+        mode: DeliveryMode,
+        book: AddressBook,
+        trace_parent: Optional[int] = None,
     ):
         """Deliver ``alert`` per ``mode`` (generator returning the outcome)."""
         outcome = yield from self.engine.execute(
@@ -217,6 +224,7 @@ class SimbaEndpoint:
             subject=alert.subject,
             body=alert.encode(),
             correlation=alert.alert_id,
+            trace_parent=trace_parent,
         )
         return outcome
 
@@ -253,6 +261,7 @@ class SimbaEndpoint:
                     via=ChannelType.IM,
                     sender=message.sender,
                     seq=message.seq,
+                    trace_parent=message.trace_parent,
                 )
                 continue
             if self.command_handler is not None:
@@ -275,7 +284,10 @@ class SimbaEndpoint:
                 return
             if Alert.is_alert_payload(message.body):
                 yield from self._handle_alert(
-                    message.body, via=ChannelType.EMAIL, sender=message.sender
+                    message.body,
+                    via=ChannelType.EMAIL,
+                    sender=message.sender,
+                    trace_parent=message.trace_parent,
                 )
                 continue
             if self.command_handler is not None:
@@ -287,6 +299,7 @@ class SimbaEndpoint:
         via: ChannelType,
         sender: str,
         seq: Optional[int] = None,
+        trace_parent: Optional[int] = None,
     ):
         try:
             alert = Alert.decode(payload)
@@ -295,12 +308,27 @@ class SimbaEndpoint:
         incoming = IncomingAlert(
             alert=alert, via=via, sender=sender, received_at=self.env.now, seq=seq
         )
+        tracer = self.env.tracer
+        rspan = None
+        if tracer is not None:
+            rspan = tracer.begin(
+                alert.alert_id,
+                "receive",
+                parent=trace_parent,
+                via=via.value,
+                endpoint=self.name,
+            )
+            if seq is not None:
+                rspan.annotations["seq"] = seq
+            incoming.trace_parent = rspan.span_id
         if self.pre_ack_hook is not None:
             yield from self.pre_ack_hook(incoming)
         if self.ack_guard is not None and not self.ack_guard(incoming):
             # Fenced: no ack (the sender falls back and the active side
             # receives the copy) and no enqueue.  The pre-ack log write
             # above stays local and is handed over by reconciliation.
+            if rspan is not None:
+                tracer.end(rspan, "fenced")
             return
         if self.auto_ack and via is ChannelType.IM and seq is not None:
             epoch = (
@@ -309,14 +337,20 @@ class SimbaEndpoint:
                 else None
             )
             try:
-                self.im_manager.submit(
+                ack_message = self.im_manager.submit(
                     sender,
                     "",
                     make_ack_body(seq, epoch),
                     correlation=alert.alert_id,
                 )
+                if rspan is not None:
+                    # The ack's transit span parents under the receive.
+                    ack_message.trace_parent = rspan.span_id
             except (AutomationError, ChannelError):
                 # Could not ack: the sender will fall back to email and the
                 # alert may arrive twice; incoming dedup handles that.
-                pass
+                if rspan is not None:
+                    rspan.annotations["ack_failed"] = True
         yield self.alert_inbox.put(incoming)
+        if rspan is not None:
+            tracer.end(rspan, "enqueued")

@@ -69,6 +69,11 @@ class PipelineContext:
     outcome_kind: Optional[str] = None
     #: Fencing epoch the trip ran under (replicated pairs only).
     epoch: Optional[int] = None
+    #: Tracing only: the open "trip" span and the currently-running stage's
+    #: span (stages parent their own spans — e.g. per-subscriber delivery —
+    #: under these).  Both None when tracing is off.
+    trace_span: Optional[object] = None
+    trace_stage: Optional[object] = None
 
     @property
     def alert(self) -> "Alert":
@@ -170,12 +175,37 @@ class RouteStage(PipelineStage):
 
         tagged = ctx.alert.with_category(ctx.category)
         yield ctx.env.timeout(config.routing_overhead.draw(ctx.rng))
+        tracer = ctx.env.tracer
         for subscription in subscriptions:
             mode = config.subscriptions.mode(
                 subscription.user, subscription.mode_name
             )
             book = config.subscriptions.address_book(subscription.user)
-            outcome = yield from ctx.endpoint.deliver_alert(tagged, mode, book)
+            dspan = None
+            if tracer is not None:
+                dspan = tracer.begin(
+                    ctx.alert.alert_id,
+                    "deliver.user",
+                    parent=(
+                        ctx.trace_stage.span_id
+                        if ctx.trace_stage is not None
+                        else None
+                    ),
+                    user=subscription.user,
+                    mode=subscription.mode_name,
+                )
+                if ctx.epoch is not None:
+                    dspan.annotations["epoch"] = ctx.epoch
+            outcome = yield from ctx.endpoint.deliver_alert(
+                tagged,
+                mode,
+                book,
+                trace_parent=dspan.span_id if dspan is not None else None,
+            )
+            if dspan is not None:
+                tracer.end(
+                    dspan, "delivered" if outcome.delivered else "failed"
+                )
             ctx.journal.record(
                 ctx.env.now,
                 "routed" if outcome.delivered else "delivery_failed",
@@ -254,6 +284,11 @@ class RetryStage(PipelineStage):
             seq=incoming.seq,
             attempts=incoming.attempts + 1,
             retry_users=frozenset(failed_users),
+            # The retry trip parents under the trip that scheduled it, so
+            # the whole retry chain reads as one causal thread.
+            trace_parent=(
+                ctx.trace_span.span_id if ctx.trace_span is not None else None
+            ),
         )
         yield ctx.endpoint.alert_inbox.put(retry)
 
@@ -329,6 +364,7 @@ class AlertPipeline:
         """Generator: run one alert through the stages; returns the context."""
         guard = self._replication_guard()
         ctx = self.make_context(incoming)
+        tracer = self.env.tracer
         if guard is not None:
             ctx.epoch = guard.epoch
             if not guard.route_guard(incoming):
@@ -337,6 +373,14 @@ class AlertPipeline:
                 # entry stays unprocessed for reconciliation to hand over.
                 ctx.finished = True
                 ctx.outcome_kind = "fenced"
+                if tracer is not None:
+                    tracer.event(
+                        ctx.alert.alert_id,
+                        "trip.fenced",
+                        parent=incoming.trace_parent,
+                        user=self.config.user,
+                        epoch=guard.epoch,
+                    )
                 self.journal.record(
                     self.env.now,
                     "fenced",
@@ -346,6 +390,18 @@ class AlertPipeline:
                 if self.on_outcome is not None:
                     self.on_outcome(ctx)
                 return ctx
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                ctx.alert.alert_id,
+                "trip",
+                parent=incoming.trace_parent,
+                user=self.config.user,
+                attempt=incoming.attempts,
+            )
+            if ctx.epoch is not None:
+                span.annotations["epoch"] = ctx.epoch
+            ctx.trace_span = span
         if incoming.retry_users is None and (
             ctx.alert.alert_id in self.journal.routed_ids
             or ctx.alert.alert_id in self.journal.retry_pending
@@ -353,11 +409,26 @@ class AlertPipeline:
             ctx.finish("duplicate_incoming", f"via {incoming.via.value}")
             if guard is not None:
                 yield from guard.after_trip(ctx)
+            if span is not None:
+                tracer.end(span, ctx.outcome_kind)
             if self.on_outcome is not None:
                 self.on_outcome(ctx)
             return ctx
         for stage in self.stages:
+            sspan = None
+            if span is not None:
+                sspan = tracer.begin(
+                    ctx.alert.alert_id,
+                    f"stage.{stage.name}",
+                    parent=span.span_id,
+                )
+                ctx.trace_stage = sspan
             yield from stage.run(ctx)
+            if sspan is not None:
+                tracer.end(
+                    sspan, ctx.outcome_kind if ctx.finished else "ok"
+                )
+                ctx.trace_stage = None
             if ctx.finished:
                 break
         if guard is not None:
@@ -365,6 +436,13 @@ class AlertPipeline:
             # observable: a crash mid-ship leaves the trip unobserved, so
             # the standby's replay is the one delivery the oracle sees.
             yield from guard.after_trip(ctx)
+        if span is not None:
+            tracer.end(
+                span,
+                ctx.outcome_kind
+                if ctx.outcome_kind is not None
+                else "unfinished",
+            )
         if ctx.outcome_kind in ("retry_scheduled", "routed",
                                 "delivery_abandoned"):
             if self.on_progress is not None:
@@ -382,6 +460,7 @@ class AlertPipeline:
         from repro.core.alert import Alert
         from repro.net.message import ChannelType
 
+        tracer = self.env.tracer
         for entry in self.log.unprocessed():
             self.journal.record(
                 self.env.now, "recovery_replay", alert_id=entry.alert_id
@@ -392,6 +471,13 @@ class AlertPipeline:
                 sender="(recovered)",
                 received_at=entry.received_at,
             )
+            if tracer is not None:
+                replay = tracer.event(
+                    entry.alert_id,
+                    "recovery.replay",
+                    user=self.config.user,
+                )
+                incoming.trace_parent = replay.span_id
             yield from self.process(incoming)
 
 
@@ -425,9 +511,28 @@ class SourceDeliveryPipeline:
         """Generator: deliver ``alert`` to ``book``; returns the outcome."""
         if self.processing is not None:
             yield self.env.timeout(self.processing.draw(self.rng))
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None:
+            # Root of the alert's causal trace: everything downstream —
+            # channel transit, receive, pipeline trip, per-user delivery —
+            # parents (transitively) under this span.
+            span = tracer.begin(
+                alert.alert_id,
+                "source.deliver",
+                subject=alert.subject,
+                endpoint=self.endpoint.name,
+            )
         outcome = yield from self.endpoint.deliver_alert(
-            alert, self.mode, book
+            alert,
+            self.mode,
+            book,
+            trace_parent=span.span_id if span is not None else None,
         )
+        if span is not None:
+            tracer.end(
+                span, "delivered" if outcome.delivered else "failed"
+            )
         self.outcomes.append(outcome)
         self.messages_sent += outcome.messages_sent
         return outcome

@@ -44,6 +44,7 @@ from repro.core.host import Host
 from repro.core.pessimistic_log import PessimisticLog
 from repro.core.watchdog import MasterDaemonController
 from repro.net.message import ChannelType
+from repro.obs import lifecycle_trace
 from repro.sim.link import DEFAULT_LINK_LATENCY, HostLink
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -219,6 +220,14 @@ class PairSide:
         if self.role is ReplicaRole.PRIMARY:
             self.role = ReplicaRole.FENCED
             self.pair.audit.record(self.epoch, "fenced", self.env.now)
+            tracer = self.env.tracer
+            if tracer is not None:
+                tracer.event(
+                    lifecycle_trace(self.pair.pair_id),
+                    "replica.fenced",
+                    epoch=self.epoch,
+                    side=self.label,
+                )
             self.pair.controller.on_side_fenced(self)
 
     # ------------------------------------------------------------------
@@ -259,7 +268,10 @@ class PairSide:
         )
         self.env.process(
             self.pair.controller.hand_to_active(
-                self.host, incoming.alert, incoming.received_at
+                self.host,
+                incoming.alert,
+                incoming.received_at,
+                trace_parent=incoming.trace_parent,
             ),
             name=f"repl-forward-{incoming.alert.alert_id}",
         )
@@ -535,6 +547,15 @@ class FailoverController:
         standby.deployment.journal.record(
             self.env.now, "failover_promotion", f"epoch {epoch}"
         )
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.event(
+                lifecycle_trace(pair.pair_id),
+                "failover.promote",
+                epoch=epoch,
+                side=standby.label,
+                user=pair.pair_id,
+            )
         self.promotions += 1
         mdc = MasterDaemonController(
             self.env,
@@ -590,6 +611,7 @@ class FailoverController:
         alert: Alert,
         received_at: float,
         sender: str = "(reconciled)",
+        trace_parent: Optional[int] = None,
     ):
         """Durably transfer one alert to the active side (generator).
 
@@ -597,6 +619,15 @@ class FailoverController:
         by the active side's own replay), then enqueues for its pipeline.
         Retries across link partitions and host outages until it lands.
         """
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                alert.alert_id,
+                "failover.handoff",
+                parent=trace_parent,
+                pair=self.pair.pair_id,
+            )
         while True:
             active = self.pair.active
             if (
@@ -618,7 +649,11 @@ class FailoverController:
             sender=sender,
             received_at=received_at,
         )
+        if span is not None:
+            incoming.trace_parent = span.span_id
         yield deployment.endpoint.alert_inbox.put(incoming)
+        if span is not None:
+            tracer.end(span, "landed", epoch=active.epoch)
 
     def _reconcile(self, side: PairSide):
         """Fenced-side recovery: hand over, re-seed, rejoin as standby."""

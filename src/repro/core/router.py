@@ -170,23 +170,32 @@ class DeliveryEngine:
         subject: str,
         body: str,
         correlation: Optional[str] = None,
+        trace_parent: Optional[int] = None,
     ):
         """Run a delivery mode (generator; use ``yield from`` or wrap in a
         process).  Returns a :class:`DeliveryOutcome`; never raises for
         delivery failures."""
         started = self.env.now
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and correlation is not None:
+            span = tracer.begin(
+                correlation, "deliver", parent=trace_parent, mode=mode.name
+            )
         blocks: list[BlockOutcome] = []
         messages = 0
         delivered = False
         for index, block in enumerate(mode.blocks):
             outcome = yield from self._run_block(
-                index, block, book, subject, body, correlation
+                index, block, book, subject, body, correlation, span
             )
             blocks.append(outcome)
             messages += len(outcome.submitted)
             if outcome.succeeded:
                 delivered = True
                 break
+        if span is not None:
+            tracer.end(span, "delivered" if delivered else "failed")
         result = DeliveryOutcome(
             mode_name=mode.name,
             correlation=correlation,
@@ -227,11 +236,24 @@ class DeliveryEngine:
         subject: str,
         body: str,
         correlation: Optional[str],
+        deliver_span=None,
     ):
         start = self.env.now
+        tracer = self.env.tracer
+        bspan = None
+        if tracer is not None and correlation is not None:
+            bspan = tracer.begin(
+                correlation,
+                "block",
+                parent=deliver_span.span_id if deliver_span is not None else None,
+                index=index,
+                require_ack=block.require_ack,
+            )
         outcome = BlockOutcome(index=index, status=BlockStatus.NO_ENABLED_ADDRESSES)
         addresses = self._resolve_addresses(block, book, outcome)
         if not addresses:
+            if bspan is not None:
+                tracer.end(bspan, outcome.status.value)
             return outcome
 
         ack_events: dict[Event, str] = {}
@@ -250,6 +272,9 @@ class DeliveryEngine:
             except SimbaError as exc:
                 outcome.errors[address.friendly_name] = str(exc)
                 continue
+            if bspan is not None:
+                # The channel's retroactive transit span parents here.
+                message.trace_parent = bspan.span_id
             outcome.submitted.append(address.friendly_name)
             if block.require_ack and address.channel is ChannelType.IM:
                 seq = getattr(message, "seq", None)
@@ -261,11 +286,15 @@ class DeliveryEngine:
         if not outcome.submitted:
             outcome.status = BlockStatus.ALL_SUBMISSIONS_FAILED
             outcome.elapsed = self.env.now - start
+            if bspan is not None:
+                tracer.end(bspan, outcome.status.value)
             return outcome
 
         if not block.require_ack:
             outcome.status = BlockStatus.SUCCESS
             outcome.elapsed = self.env.now - start
+            if bspan is not None:
+                tracer.end(bspan, outcome.status.value)
             return outcome
 
         if not ack_events:
@@ -275,8 +304,18 @@ class DeliveryEngine:
             yield self.env.timeout(0)
             outcome.status = BlockStatus.ACK_TIMEOUT
             outcome.elapsed = self.env.now - start
+            if bspan is not None:
+                tracer.end(bspan, outcome.status.value)
             return outcome
 
+        wspan = None
+        if bspan is not None:
+            wspan = tracer.begin(
+                correlation,
+                "ack.wait",
+                parent=bspan.span_id,
+                pending=len(ack_events),
+            )
         timeout = self.env.timeout(block.ack_timeout)
         yield self.env.any_of(list(ack_events) + [timeout])
         acked = next(
@@ -298,4 +337,13 @@ class DeliveryEngine:
         else:
             outcome.status = BlockStatus.ACK_TIMEOUT
         outcome.elapsed = self.env.now - start
+        if wspan is not None:
+            if acked is not None:
+                tracer.end(wspan, "acked", acked_by=acked)
+            else:
+                tracer.end(wspan, "timeout")
+        if bspan is not None:
+            if acked is not None:
+                bspan.annotations["acked_by"] = acked
+            tracer.end(bspan, outcome.status.value)
         return outcome

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional, Protocol
 
 from repro.core.host import Host
+from repro.obs import lifecycle_trace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Environment
@@ -143,8 +144,19 @@ class MasterDaemonController:
         self.buddy = self.buddy_factory()
         self.buddy.start()
 
+    def _trace_lifecycle(self, name: str, **annotations) -> None:
+        tracer = self.env.tracer
+        if tracer is None:
+            return
+        owner = (
+            getattr(getattr(self.buddy, "config", None), "user", None)
+            or self.host.name
+        )
+        tracer.event(lifecycle_trace(owner), name, **annotations)
+
     def _restart_buddy(self, reason: RestartReason) -> None:
         self.restarts.append(RestartRecord(at=self.env.now, reason=reason))
+        self._trace_lifecycle("mdc.restart", reason=reason.value)
         buddy = self.buddy
         if buddy is not None and buddy.process is not None and buddy.process.is_alive:
             buddy.force_terminate(f"MDC restart: {reason.value}")
@@ -152,6 +164,7 @@ class MasterDaemonController:
         if self._consecutive_failed > self.max_failed_restarts:
             self.reboots_requested += 1
             self._consecutive_failed = 0
+            self._trace_lifecycle("mdc.reboot", host=self.host.name)
             self.host.reboot()  # monitoring stops via the shutdown hook
             return
         self._launch_buddy()

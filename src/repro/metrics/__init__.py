@@ -7,6 +7,7 @@ from repro.metrics.recovery_report import recovery_report
 from repro.metrics.reports import format_table
 from repro.metrics.stats import Summary, summarize
 from repro.metrics.timeline import TraceEvent, render_trace, trace_alert
+from repro.metrics.trace_report import trace_attribution, trace_report
 
 __all__ = [
     "LatencyCollector",
@@ -20,4 +21,6 @@ __all__ = [
     "summarize",
     "sweep_report",
     "trace_alert",
+    "trace_attribution",
+    "trace_report",
 ]

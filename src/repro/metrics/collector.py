@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import Iterable
 
 from repro.metrics.stats import Summary, summarize
 
@@ -16,8 +17,11 @@ class LatencyCollector:
     def record(self, label: str, value: float) -> None:
         self._samples[label].append(float(value))
 
-    def extend(self, label: str, values: list[float]) -> None:
-        self._samples[label].extend(float(v) for v in values)
+    def extend(self, label: str, values: Iterable[float]) -> None:
+        # Materialize before touching the samples list so a generator that
+        # raises partway through cannot leave a half-recorded label behind.
+        materialized = [float(v) for v in values]
+        self._samples[label].extend(materialized)
 
     def samples(self, label: str) -> list[float]:
         return list(self._samples.get(label, []))

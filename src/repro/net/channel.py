@@ -127,3 +127,23 @@ class ChannelBase:
         if not self.available:
             self.stats.rejected += 1
             raise ChannelUnavailable(f"channel {self.name!r} is down")
+
+    def _trace_transit(self, message, outcome: str) -> None:
+        """Record the message's in-flight interval as a retroactive span.
+
+        Channels know a message's fate only at the *end* of its transit, so
+        the span is opened with ``start=message.created_at`` and closed at
+        ``env.now`` in one step.  Requires ``env.tracer`` — call sites guard
+        on that so the disabled path stays one slot load.
+        """
+        tracer = self.env.tracer
+        if tracer is None or message.correlation is None:
+            return
+        span = tracer.begin(
+            message.correlation,
+            f"transit.{message.channel.value}",
+            parent=message.trace_parent,
+            start=message.created_at,
+            recipient=message.recipient,
+        )
+        tracer.end(span, outcome)

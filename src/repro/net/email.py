@@ -130,6 +130,10 @@ class EmailService(ChannelBase):
         yield self.env.timeout(delay)
         if self.loss_probability and self.rng.random() < self.loss_probability:
             self.stats.lost += 1
+            if self.env.tracer is not None:
+                self._trace_transit(message, "lost")
             return
         yield self.mailbox(message.recipient).deposit(message)
         self.stats.record_delivery(self.env.now - message.created_at)
+        if self.env.tracer is not None:
+            self._trace_transit(message, "delivered")

@@ -200,15 +200,21 @@ class IMService(ChannelBase):
         yield self.env.timeout(delay)
         if self.loss_probability and self.rng.random() < self.loss_probability:
             self.stats.lost += 1
+            if self.env.tracer is not None:
+                self._trace_transit(message, "lost")
             return
         target = self._sessions.get(message.recipient)
         if target is None or not self.available:
             # Recipient logged out (or service died) while the IM was in
             # flight; synchronous IM has nowhere to park it.
             self.stats.lost += 1
+            if self.env.tracer is not None:
+                self._trace_transit(message, "lost")
             return
         yield target.inbox.put(message)
         self.stats.record_delivery(self.env.now - message.created_at)
+        if self.env.tracer is not None:
+            self._trace_transit(message, "delivered")
 
     # ------------------------------------------------------------------
     # Outages

@@ -51,6 +51,10 @@ class Message:
     correlation: Optional[str] = None
     headers: dict[str, Any] = field(default_factory=dict)
     message_id: int = field(default_factory=lambda: next(_message_ids))
+    #: Tracing only: span id of the delivery block (or ack) that submitted
+    #: this message, so the channel's retroactive transit span and the
+    #: receiver's receive span parent correctly.  None when tracing is off.
+    trace_parent: Optional[int] = None
 
     def reply_body(self, body: str) -> "Message":
         """Build a reply on the same channel with sender/recipient swapped."""

@@ -107,9 +107,15 @@ class SMSGateway(ChannelBase):
         phone = self.phone(message.recipient)
         if not phone.reachable:
             self.stats.lost += 1
+            if self.env.tracer is not None:
+                self._trace_transit(message, "lost")
             return
         if self.loss_probability and self.rng.random() < self.loss_probability:
             self.stats.lost += 1
+            if self.env.tracer is not None:
+                self._trace_transit(message, "lost")
             return
         yield phone.inbox.put(message)
         self.stats.record_delivery(self.env.now - message.created_at)
+        if self.env.tracer is not None:
+            self._trace_transit(message, "delivered")

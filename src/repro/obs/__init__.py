@@ -1,0 +1,25 @@
+"""Structured per-alert tracing (zero-overhead-when-off observability).
+
+Install a :class:`TraceSink` on an environment and every instrumented
+layer — sources, channels, endpoints, pipeline stages, delivery blocks,
+watchdogs, replication — emits :class:`Span` records keyed by alert id.
+See :mod:`repro.obs.trace` for the design rules (pure observation,
+deterministic ordering, bounded memory).
+"""
+
+from repro.obs.render import (
+    attribute_spans,
+    render_attribution,
+    render_span_tree,
+)
+from repro.obs.trace import LIFECYCLE_PREFIX, Span, TraceSink, lifecycle_trace
+
+__all__ = [
+    "LIFECYCLE_PREFIX",
+    "Span",
+    "TraceSink",
+    "attribute_spans",
+    "lifecycle_trace",
+    "render_attribution",
+    "render_span_tree",
+]

@@ -1,0 +1,126 @@
+"""Render span trees and per-trace latency attribution as text.
+
+The span tree is the forensic view (`python -m repro trace`): one alert's
+actual causal path — source send, channel transits, receive/ack, pipeline
+stages, delivery blocks, ack waits, retries, failover handoffs — indented
+by parenthood, ordered by ``(start, span_id)``.
+
+Attribution buckets a trace's span durations by what the time was spent
+*on* (pipeline stage vs channel wait vs failover stall).  Buckets are
+reported side by side, not as a partition: an IM ack's transit happens
+*during* the sender's ack wait, and an email's transit outlives its
+fire-and-forget block, so bucket totals legitimately overlap.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Optional
+
+from repro.obs.trace import Span
+
+#: Span names whose duration counts as sender-side channel waiting.
+_CHANNEL_WAIT = ("ack.wait",)
+_TRANSIT_PREFIX = "transit."
+_STAGE_PREFIX = "stage."
+
+
+def _sorted_tree(spans: Iterable[Span]):
+    """(span, depth) rows: children under parents, ``(start, id)`` order."""
+    spans = list(spans)
+    by_parent: dict[Optional[int], list[Span]] = defaultdict(list)
+    ids = {span.span_id for span in spans}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in ids else None
+        by_parent[parent].append(span)
+    for children in by_parent.values():
+        children.sort(key=lambda s: (s.start, s.span_id))
+
+    rows: list[tuple[Span, int]] = []
+
+    def walk(parent: Optional[int], depth: int) -> None:
+        for span in by_parent.get(parent, ()):
+            rows.append((span, depth))
+            walk(span.span_id, depth + 1)
+
+    walk(None, 0)
+    return rows
+
+
+def render_span_tree(spans: Iterable[Span], title: str = "") -> str:
+    """ASCII tree of one trace's spans."""
+    rows = _sorted_tree(spans)
+    lines = [f"trace {title}" if title else "trace"]
+    if not rows:
+        lines.append("  (no spans)")
+        return "\n".join(lines)
+    for span, depth in rows:
+        indent = "  " * (depth + 1)
+        if span.closed:
+            timing = f"t={span.start:.2f}..{span.end:.2f} (+{span.duration:.2f}s)"
+            outcome = span.outcome or "ok"
+        else:
+            timing = f"t={span.start:.2f}.. (open)"
+            outcome = "…"
+        notes = " ".join(
+            f"{key}={value}" for key, value in sorted(span.annotations.items())
+        )
+        lines.append(
+            f"{indent}{span.name} [{outcome}] {timing}"
+            + (f"  {notes}" if notes else "")
+        )
+    return "\n".join(lines)
+
+
+def attribute_spans(spans: Iterable[Span]) -> dict[str, float]:
+    """Bucket one trace's closed-span durations for latency attribution.
+
+    Keys: ``end_to_end`` (the source.deliver root, falling back to the
+    span extent), ``stage:<name>`` (route's deliver time is subtracted —
+    a stage bucket measures pipeline work, not channel waits),
+    ``channel:ack_wait``, ``channel:transit:<type>``, ``failover:handoff``.
+    """
+    spans = [s for s in spans if s.closed]
+    buckets: dict[str, float] = defaultdict(float)
+    deliver_user_by_parent: dict[Optional[int], float] = defaultdict(float)
+    for span in spans:
+        if span.name == "deliver.user":
+            deliver_user_by_parent[span.parent_id] += span.duration
+    for span in spans:
+        name = span.name
+        if name == "source.deliver":
+            buckets["end_to_end"] += span.duration
+        elif name.startswith(_STAGE_PREFIX):
+            nested = deliver_user_by_parent.get(span.span_id, 0.0)
+            buckets[f"stage:{name[len(_STAGE_PREFIX):]}"] += max(
+                0.0, span.duration - nested
+            )
+        elif name in _CHANNEL_WAIT:
+            buckets["channel:ack_wait"] += span.duration
+        elif name.startswith(_TRANSIT_PREFIX):
+            buckets[
+                f"channel:transit:{name[len(_TRANSIT_PREFIX):]}"
+            ] += span.duration
+        elif name == "failover.handoff":
+            buckets["failover:handoff"] += span.duration
+    if "end_to_end" not in buckets and spans:
+        start = min(s.start for s in spans)
+        end = max(s.end for s in spans)
+        buckets["end_to_end"] = end - start
+    return dict(buckets)
+
+
+def render_attribution(buckets: dict[str, float]) -> str:
+    """One trace's attribution as aligned text rows, largest first."""
+    if not buckets:
+        return "(no closed spans)"
+    e2e = buckets.get("end_to_end", 0.0)
+    lines = [f"end_to_end: {e2e:.2f}s"]
+    rest = sorted(
+        ((k, v) for k, v in buckets.items() if k != "end_to_end"),
+        key=lambda item: (-item[1], item[0]),
+    )
+    for key, value in rest:
+        share = f" ({value / e2e * 100.0:.0f}%)" if e2e > 0 else ""
+        lines.append(f"  {key}: {value:.2f}s{share}")
+    return "\n".join(lines)

@@ -41,11 +41,15 @@ class Environment:
 
     __slots__ = (
         "_now", "_queue", "_immediate", "_sequence", "_active_process",
-        "_dead_entries",
+        "_dead_entries", "tracer",
     )
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
+        #: Structured-tracing hook (:class:`repro.obs.TraceSink`), None when
+        #: tracing is off.  Instrumentation sites read this once per probe
+        #: (``tr = env.tracer``) so the disabled path costs one slot load.
+        self.tracer = None
         self._queue: list[tuple[float, int, Event]] = []
         self._immediate: deque[tuple[float, int, Event]] = deque()
         self._sequence = 0

@@ -55,6 +55,7 @@ from repro.testkit.schedule import (
 )
 from repro.testkit.shrink import ShrinkResult, shrink
 from repro.testkit.sweep import ChaosSweepResult, ChaosTrial, chaos_sweep
+from repro.testkit.trace_oracle import check_trace
 
 __all__ = [
     "AbandonAmnesiaRetryStage",
@@ -73,6 +74,7 @@ __all__ = [
     "Violation",
     "chaos_sweep",
     "check_farm_equivalence",
+    "check_trace",
     "drop_retry_stages",
     "dump_reproducer",
     "fault_from_dict",

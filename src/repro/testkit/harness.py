@@ -95,6 +95,10 @@ class ChaosReport:
     horizon: float = 0.0
     #: Replication mode only: per-tenant failover promotion counts.
     promotions: dict[str, int] = field(default_factory=dict)
+    #: The run's :class:`repro.obs.TraceSink` when ``run_chaos(trace=True)``
+    #: — excluded from :meth:`fingerprint` (tracing is pure observation;
+    #: traced and untraced runs must fingerprint identically).
+    trace: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -281,12 +285,20 @@ def run_chaos(
     config: Optional[ChaosRunConfig] = None,
     stage_factory: Optional[Callable[[], list]] = None,
     oracle: Optional[DeliveryOracle] = None,
+    trace: bool = False,
 ) -> ChaosReport:
     """Replay ``schedule`` against a fresh farm; return the audited report.
 
     ``stage_factory`` swaps every tenant's pipeline stages — the way the
     testkit's own tests (and :mod:`repro.testkit.bugs`) plant deliberately
     broken pipelines to prove the oracle has teeth.
+
+    ``trace`` installs a :class:`repro.obs.TraceSink` for the run; the
+    sink rides back on ``report.trace`` and the oracle additionally audits
+    the trace-backed invariants (``report.oracle.trace_violations``).  A
+    parameter, not a :class:`ChaosRunConfig` field: the config is part of
+    every pinned reproducer's fingerprint, and tracing must never change a
+    run's identity.
     """
     if config is None:
         config = ChaosRunConfig()
@@ -301,6 +313,11 @@ def run_chaos(
             sms_loss=0.0,
         )
     )
+    sink = None
+    if trace:
+        from repro.obs import TraceSink
+
+        sink = TraceSink().install(world.env)
     farm = world.create_farm(
         shards=4,
         profile=FarmProfile(categories=("News",), accept_sources=("portal",)),
@@ -350,7 +367,10 @@ def run_chaos(
     world.run(until=horizon)
 
     report = oracle.check(
-        farm, offered=offered, source_endpoints=[source.endpoint]
+        farm,
+        offered=offered,
+        source_endpoints=[source.endpoint],
+        trace_sink=sink,
     )
     outcome_counts: dict[str, int] = {}
     for obs in oracle.observed:
@@ -376,4 +396,5 @@ def run_chaos(
             for t in tenants
             if t.pair is not None
         },
+        trace=sink,
     )

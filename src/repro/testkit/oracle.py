@@ -111,17 +111,24 @@ class OracleReport:
     #: Legal-but-notable counters (late acks, unsolicited acks, duplicates
     #: discarded at the user) — reported, never asserted on.
     info: dict[str, int] = field(default_factory=dict)
+    #: Breaches of the trace-backed invariants
+    #: (:mod:`repro.testkit.trace_oracle`) — populated only when the run
+    #: traced; kept separate so reports can attribute a failure to the
+    #: journal view, the trace view, or both.
+    trace_violations: list[Violation] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.violations
+        return not self.violations and not self.trace_violations
 
     def summary(self) -> str:
         checked = ", ".join(f"{k}={v}" for k, v in sorted(self.checked.items()))
         if self.ok:
             return f"oracle OK ({checked})"
-        lines = [f"oracle FAILED: {len(self.violations)} violation(s) ({checked})"]
+        total = len(self.violations) + len(self.trace_violations)
+        lines = [f"oracle FAILED: {total} violation(s) ({checked})"]
         lines.extend(f"  - {v}" for v in self.violations)
+        lines.extend(f"  - {v}" for v in self.trace_violations)
         return "\n".join(lines)
 
 
@@ -171,12 +178,15 @@ class DeliveryOracle:
         farm: "BuddyFarm",
         offered: Optional[dict[str, set[str]]] = None,
         source_endpoints: Iterable = (),
+        trace_sink=None,
     ) -> OracleReport:
         """Audit every invariant against a quiesced farm.
 
         ``offered`` maps tenant name to the alert ids the workload addressed
         to that tenant — required for the tenant-isolation check, optional
-        otherwise.
+        otherwise.  ``trace_sink`` (a :class:`repro.obs.TraceSink` from a
+        traced run) additionally audits the trace-backed invariants into
+        ``report.trace_violations``.
         """
         report = OracleReport()
         by_user = self.outcomes_by_user()
@@ -350,6 +360,13 @@ class DeliveryOracle:
         report.info["late_acks"] = late_acks
         report.info["unsolicited_acks"] = unsolicited_acks
         report.info["user_duplicates_discarded"] = user_duplicates
+
+        if trace_sink is not None:
+            from repro.testkit.trace_oracle import check_trace
+
+            trace_checked, trace_violations = check_trace(trace_sink)
+            report.checked.update(trace_checked)
+            report.trace_violations.extend(trace_violations)
         return report
 
     # ------------------------------------------------------------------

@@ -132,12 +132,16 @@ def make_reproducer(
     )
 
 
-def replay_reproducer(path: str | Path, stage_factory=None) -> "ChaosReport":
+def replay_reproducer(
+    path: str | Path, stage_factory=None, trace: bool = False
+) -> "ChaosReport":
     """Re-run a pinned scenario against the current pipeline.
 
     ``stage_factory`` re-injects a deliberately broken pipeline (to prove a
     pinned schedule still has teeth); None replays against the real stages,
-    which is the regression direction CI runs.
+    which is the regression direction CI runs.  ``trace`` replays with a
+    :class:`repro.obs.TraceSink` installed (``report.trace``) — same run,
+    same fingerprint, plus the causal span record.
     """
     from repro.testkit.harness import ChaosRunConfig, run_chaos
 
@@ -146,4 +150,9 @@ def replay_reproducer(path: str | Path, stage_factory=None) -> "ChaosReport":
     config = ChaosRunConfig(
         **{k: v for k, v in reproducer.config.items() if k in known}
     )
-    return run_chaos(reproducer.schedule, config, stage_factory=stage_factory)
+    return run_chaos(
+        reproducer.schedule,
+        config,
+        stage_factory=stage_factory,
+        trace=trace,
+    )

@@ -119,6 +119,7 @@ class _TrialSpec:
     stage_factory: Optional[Callable[[], list]]
     shrink_failures: bool
     shrink_budget: int
+    trace: bool = False
 
 
 def _run_trial(spec: _TrialSpec) -> ChaosTrial:
@@ -133,20 +134,35 @@ def _run_trial(spec: _TrialSpec) -> ChaosTrial:
         replication=run_config.replication,
     )
     schedule = generator.generate()
-    report = run_chaos(schedule, run_config, stage_factory=spec.stage_factory)
+    report = run_chaos(
+        schedule,
+        run_config,
+        stage_factory=spec.stage_factory,
+        trace=spec.trace,
+    )
     trial = ChaosTrial(
         index=spec.index,
         seed=spec.sub_seed,
         schedule_size=len(schedule),
         ok=report.ok,
-        violations=[str(v) for v in report.oracle.violations],
+        violations=[
+            str(v)
+            for v in (
+                report.oracle.violations + report.oracle.trace_violations
+            )
+        ],
         fingerprint=report.fingerprint(),
         report=report,
     )
     if not report.ok and spec.shrink_failures and schedule:
         def still_fails(candidate: list[ScheduledFault]) -> bool:
+            # Probes trace iff the trial did: a failure detected only by
+            # the trace oracle must stay reproducible while shrinking.
             probe = run_chaos(
-                candidate, run_config, stage_factory=spec.stage_factory
+                candidate,
+                run_config,
+                stage_factory=spec.stage_factory,
+                trace=spec.trace,
             )
             return not probe.ok
 
@@ -178,6 +194,7 @@ def chaos_sweep(
     shrink_budget: int = 24,
     replication: Optional[bool] = None,
     jobs: Optional[int] = None,
+    trace: bool = False,
 ) -> ChaosSweepResult:
     """Run ``trials`` random chaos trials; shrink whatever fails.
 
@@ -192,6 +209,11 @@ def chaos_sweep(
     ``REPRO_SWEEP_JOBS`` environment default, 1 → sequential).  Results are
     merged in trial order and are identical to a sequential sweep's; with
     ``jobs > 1``, ``stage_factory``/``intensity`` must be picklable.
+
+    ``trace`` runs every trial with a :class:`repro.obs.TraceSink` (it
+    rides back on each ``trial.report.trace``) and folds the trace-backed
+    invariants into each trial's verdict.  Fingerprints are unchanged —
+    tracing is pure observation.
     """
     base = config if config is not None else ChaosRunConfig()
     specs = []
@@ -223,6 +245,7 @@ def chaos_sweep(
                 stage_factory=stage_factory,
                 shrink_failures=shrink_failures,
                 shrink_budget=shrink_budget,
+                trace=trace,
             )
         )
     return ChaosSweepResult(

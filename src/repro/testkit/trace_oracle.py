@@ -1,0 +1,235 @@
+"""Trace-backed invariants: what the causal span tree must always satisfy.
+
+The journal-backed :class:`~repro.testkit.oracle.DeliveryOracle` audits
+*endpoints* — what each tenant's journal, log and ack table say happened.
+This module audits the *path*: the :class:`~repro.obs.TraceSink` recorded
+who caused what, so a class of bugs invisible to endpoint state (a fallback
+block firing before its predecessor failed, a fenced side starting a trip
+after losing the epoch, a stage list that silently drops alerts) becomes a
+structural property of the span tree.
+
+Invariants (each conservative enough to hold by construction on a healthy
+run — the seed-sensitivity smoke test asserts the trace verdict and the
+journal verdict *agree* across seeds):
+
+- **trace-terminal-delivery** — at most one successful ``deliver.user``
+  span per (alert, user, epoch).  Cross-epoch repeats are the replication
+  partition shape and are judged by the journal oracle's
+  ``no_fenced_reroute``, not here.
+- **trace-fallback-ordering** — within one delivery-mode execution (one
+  ``deliver`` span), block *i* > 0 may start only if block *i − 1* ran and
+  did not succeed.  Fallback is ordered error handling; out-of-order
+  blocks mean the engine broke its §3.2 contract.
+- **trace-fenced-epoch** — no ``trip`` span annotated with epoch *E*
+  starts strictly after a ``failover.promote`` event for the same user
+  with a later epoch.  Mirrors the journal oracle's
+  ``at_most_one_active_epoch`` (same-instant actions are legal: the
+  promotion and the last old-epoch action may share a timestamp).
+- **trace-terminal** — a *closed* ``trip`` span must carry a terminal
+  outcome, never ``"unfinished"``: a trip that ran off the end of the
+  stage list dropped its alert.  Spans left *open* are legal — a crash
+  cuts processes mid-yield and their spans simply never end.
+- **trace-structural** — every span's parent exists in its trace and no
+  closed span ends before it starts.  Skipped when the sink evicted
+  anything (a dropped parent is bounded memory, not a bug).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.trace import LIFECYCLE_PREFIX, Span
+from repro.testkit.oracle import Violation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import TraceSink
+
+#: ``trip`` outcomes that legitimately end a trip.
+TERMINAL_TRIP_OUTCOMES = frozenset(
+    {
+        "routed",
+        "retry_scheduled",
+        "delivery_abandoned",
+        "rejected",
+        "unmapped",
+        "filtered",
+        "no_subscribers",
+        "duplicate_incoming",
+        "fenced",
+    }
+)
+
+
+def check_trace(sink: "TraceSink") -> tuple[dict[str, int], list[Violation]]:
+    """Audit every trace invariant; returns (checked counters, violations)."""
+    checked: dict[str, int] = {
+        "trace_traces": len(sink.trace_ids()),
+        "trace_spans": sink.span_count(),
+    }
+    violations: list[Violation] = []
+
+    promotions = _promotions_by_user(sink)
+
+    # Completeness-dependent checks would false-positive on an evicting
+    # sink (a dropped predecessor block looks like out-of-order fallback).
+    complete = not (sink.dropped_traces or sink.dropped_spans)
+
+    for trace_id in sink.trace_ids():
+        if trace_id.startswith(LIFECYCLE_PREFIX):
+            continue
+        spans = sink.spans(trace_id)
+        _check_terminal_delivery(trace_id, spans, violations)
+        _check_fenced_epoch(trace_id, spans, promotions, violations)
+        _check_trip_terminal(trace_id, spans, violations)
+        if complete:
+            _check_fallback_ordering(trace_id, spans, violations)
+            _check_structure(trace_id, spans, violations)
+    return checked, violations
+
+
+# ----------------------------------------------------------------------
+# Individual invariants
+# ----------------------------------------------------------------------
+
+
+def _promotions_by_user(sink: "TraceSink") -> dict[str, list[tuple[int, float]]]:
+    """user → [(epoch, promoted_at)] from the lifecycle traces."""
+    table: dict[str, list[tuple[int, float]]] = {}
+    for span in sink.find_spans("failover.promote"):
+        user = span.annotations.get("user")
+        epoch = span.annotations.get("epoch")
+        if user is None or epoch is None:
+            continue
+        table.setdefault(user, []).append((epoch, span.start))
+    return table
+
+
+def _check_terminal_delivery(
+    trace_id: str, spans: list[Span], violations: list[Violation]
+) -> None:
+    delivered: dict[tuple[str, object], int] = {}
+    for span in spans:
+        if span.name != "deliver.user" or span.outcome != "delivered":
+            continue
+        key = (
+            span.annotations.get("user", "?"),
+            span.annotations.get("epoch"),
+        )
+        delivered[key] = delivered.get(key, 0) + 1
+    for (user, epoch), count in delivered.items():
+        if count > 1:
+            where = f" under epoch {epoch}" if epoch is not None else ""
+            violations.append(
+                Violation(
+                    "trace_terminal_delivery",
+                    f"{count} successful deliver.user spans{where} "
+                    "(one terminal delivery per alert per user per epoch)",
+                    user=user,
+                    alert_id=trace_id,
+                )
+            )
+
+
+def _check_fallback_ordering(
+    trace_id: str, spans: list[Span], violations: list[Violation]
+) -> None:
+    blocks_by_deliver: dict[int, dict[int, Span]] = {}
+    for span in spans:
+        if span.name != "block" or span.parent_id is None:
+            continue
+        index = span.annotations.get("index")
+        if index is None:
+            continue
+        blocks_by_deliver.setdefault(span.parent_id, {})[index] = span
+    for blocks in blocks_by_deliver.values():
+        for index, span in sorted(blocks.items()):
+            if index == 0:
+                continue
+            prev = blocks.get(index - 1)
+            if prev is None:
+                violations.append(
+                    Violation(
+                        "trace_fallback_ordering",
+                        f"block {index} ran without block {index - 1}",
+                        alert_id=trace_id,
+                    )
+                )
+            elif prev.outcome == "success":
+                violations.append(
+                    Violation(
+                        "trace_fallback_ordering",
+                        f"block {index} ran although block {index - 1} "
+                        "succeeded (fallback after success)",
+                        alert_id=trace_id,
+                    )
+                )
+
+
+def _check_fenced_epoch(
+    trace_id: str,
+    spans: list[Span],
+    promotions: dict[str, list[tuple[int, float]]],
+    violations: list[Violation],
+) -> None:
+    for span in spans:
+        if span.name != "trip":
+            continue
+        epoch = span.annotations.get("epoch")
+        user = span.annotations.get("user")
+        if epoch is None or user is None:
+            continue
+        for later_epoch, promoted_at in promotions.get(user, ()):
+            if later_epoch > epoch and span.start > promoted_at:
+                violations.append(
+                    Violation(
+                        "trace_fenced_epoch",
+                        f"trip under epoch {epoch} started at "
+                        f"t={span.start:.1f}, after epoch {later_epoch} "
+                        f"was promoted at t={promoted_at:.1f}",
+                        user=user,
+                        alert_id=trace_id,
+                    )
+                )
+
+
+def _check_trip_terminal(
+    trace_id: str, spans: list[Span], violations: list[Violation]
+) -> None:
+    for span in spans:
+        if span.name != "trip" or not span.closed:
+            continue
+        if span.outcome not in TERMINAL_TRIP_OUTCOMES:
+            violations.append(
+                Violation(
+                    "trace_terminal",
+                    f"trip closed with non-terminal outcome "
+                    f"{span.outcome!r} (alert dropped by the stage list)",
+                    user=span.annotations.get("user"),
+                    alert_id=trace_id,
+                )
+            )
+
+
+def _check_structure(
+    trace_id: str, spans: list[Span], violations: list[Violation]
+) -> None:
+    ids = {span.span_id for span in spans}
+    for span in spans:
+        if span.parent_id is not None and span.parent_id not in ids:
+            violations.append(
+                Violation(
+                    "trace_structural",
+                    f"span {span.span_id} ({span.name}) parents under "
+                    f"unknown span {span.parent_id}",
+                    alert_id=trace_id,
+                )
+            )
+        if span.closed and span.end < span.start:
+            violations.append(
+                Violation(
+                    "trace_structural",
+                    f"span {span.span_id} ({span.name}) ends before it "
+                    f"starts ({span.end} < {span.start})",
+                    alert_id=trace_id,
+                )
+            )

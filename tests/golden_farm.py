@@ -17,16 +17,27 @@ import json
 from pathlib import Path
 
 GOLDEN_FARM_PATH = Path(__file__).parent / "data" / "golden_farm_seed.json"
+GOLDEN_FARM_TRACE_PATH = (
+    Path(__file__).parent / "data" / "trace" / "golden_farm_trace.json"
+)
 N_USERS = 20
 SEED = 2027
 
 
-def run_golden_farm():
-    """Build and run the scenario; returns the farm (world has quiesced)."""
+def run_golden_farm(tracer=None):
+    """Build and run the scenario; returns the farm (world has quiesced).
+
+    ``tracer`` (a :class:`repro.obs.TraceSink`) is installed on the world's
+    environment before anything runs — the trace-golden test uses it, and
+    the journal golden must not change whether or not it is passed (tracing
+    is pure observation).
+    """
     from repro.core.farm import FarmProfile
     from repro.world import SimbaWorld, WorldConfig
 
     world = SimbaWorld(WorldConfig(seed=SEED, email_loss=0.0, sms_loss=0.0))
+    if tracer is not None:
+        tracer.install(world.env)
     farm = world.create_farm(
         shards=4,
         profile=FarmProfile(categories=("News",), accept_sources=("portal",)),
@@ -103,12 +114,44 @@ def serialize_farm_journals(farm) -> str:
     return json.dumps(payload, indent=1)
 
 
+def serialize_farm_trace(sink) -> str:
+    """Byte-stable JSON of the whole run's trace sink.
+
+    Alert-id trace ids are normalized to first-appearance order (same
+    scheme as :func:`serialize_farm_journals`); ``lifecycle:`` trace ids
+    are already stable names and pass through unchanged.  Span ids are
+    sink-local counters and need no normalization.
+    """
+    from repro.obs import LIFECYCLE_PREFIX
+
+    id_map: dict[str, str] = {}
+
+    def norm(trace_id):
+        if trace_id.startswith(LIFECYCLE_PREFIX):
+            return trace_id
+        if trace_id not in id_map:
+            id_map[trace_id] = f"A{len(id_map) + 1}"
+        return id_map[trace_id]
+
+    return sink.to_json(rename=norm)
+
+
 def main() -> None:
+    from repro.obs import TraceSink
+
+    # The journal golden stays authoritative for the *untraced* run; the
+    # trace golden comes from a second, traced run.  test_trace_golden.py
+    # asserts the two runs produce byte-identical journals.
     GOLDEN_FARM_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_FARM_PATH.write_text(
         serialize_farm_journals(run_golden_farm()) + "\n"
     )
     print(f"wrote {GOLDEN_FARM_PATH}")
+    sink = TraceSink()
+    run_golden_farm(tracer=sink)
+    GOLDEN_FARM_TRACE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_FARM_TRACE_PATH.write_text(serialize_farm_trace(sink) + "\n")
+    print(f"wrote {GOLDEN_FARM_TRACE_PATH}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,297 @@
+"""Test-debt sweep: focused units for the least-covered core corners.
+
+Three modules had real branch gaps — the XML codec's malformed-document
+paths (every ``ConfigurationError`` branch), the rejuvenation policy's
+scheduling boundaries, and the monkey thread's unmatched-dialog handling
+(the paper's own residual failure mode).  Plus the
+:class:`~repro.metrics.collector.LatencyCollector` fix: ``extend`` takes
+any iterable and materializes it exactly once.
+"""
+
+import pytest
+
+from repro.core.addresses import AddressBook, UserAddress
+from repro.core.delivery_modes import Action, CommunicationBlock, DeliveryMode
+from repro.core.monkey import SYSTEM_GENERIC_RULES, MonkeyThread
+from repro.core.rejuvenation import (
+    DEFAULT_KEYWORD,
+    DEFAULT_NIGHTLY_TIME,
+    RejuvenationPolicy,
+)
+from repro.core.xml_codec import (
+    address_book_from_xml,
+    address_book_to_xml,
+    delivery_mode_from_xml,
+    delivery_mode_to_xml,
+)
+from repro.errors import ConfigurationError
+from repro.metrics.collector import LatencyCollector
+from repro.net.message import ChannelType
+from repro.sim.clock import DAY, HOUR
+from repro.sim.clock import seconds_until_time_of_day as until
+
+
+# ---------------------------------------------------------------------------
+# XML codec
+# ---------------------------------------------------------------------------
+
+
+class TestAddressXmlErrors:
+    def test_unparseable_document(self):
+        with pytest.raises(ConfigurationError, match="malformed address XML"):
+            address_book_from_xml("<userAddresses owner='a'>")
+
+    def test_wrong_root_tag(self):
+        with pytest.raises(ConfigurationError, match="expected <userAddresses>"):
+            address_book_from_xml("<addresses owner='a'/>")
+
+    def test_missing_owner(self):
+        with pytest.raises(ConfigurationError, match="owner attribute"):
+            address_book_from_xml("<userAddresses/>")
+
+    def test_unexpected_child_element(self):
+        with pytest.raises(ConfigurationError, match="unexpected element"):
+            address_book_from_xml(
+                "<userAddresses owner='a'><phone/></userAddresses>"
+            )
+
+    def test_address_missing_type_or_name(self):
+        for attrs in ("name='x'", "type='IM'"):
+            with pytest.raises(ConfigurationError, match="type and name"):
+                address_book_from_xml(
+                    f"<userAddresses owner='a'><address {attrs}>v</address>"
+                    "</userAddresses>"
+                )
+
+    def test_unknown_channel_tag(self):
+        with pytest.raises(ConfigurationError):
+            address_book_from_xml(
+                "<userAddresses owner='a'>"
+                "<address type='FAX' name='f'>v</address></userAddresses>"
+            )
+
+    def test_invalid_enabled_boolean(self):
+        with pytest.raises(ConfigurationError, match="invalid boolean"):
+            address_book_from_xml(
+                "<userAddresses owner='a'><address type='IM' name='i' "
+                "enabled='maybe'>v</address></userAddresses>"
+            )
+
+    def test_round_trip_preserves_disabled_and_whitespace(self):
+        book = AddressBook(owner="alice")
+        book.add(UserAddress(friendly_name="MSN IM", channel=ChannelType.IM,
+                             address="alice@im", enabled=False))
+        parsed = address_book_from_xml(address_book_to_xml(book))
+        restored = parsed.get("MSN IM")
+        assert restored.enabled is False
+        assert restored.address == "alice@im"
+
+
+class TestDeliveryModeXmlErrors:
+    def test_unparseable_document(self):
+        with pytest.raises(ConfigurationError, match="malformed delivery-mode"):
+            delivery_mode_from_xml("<deliveryMode name='x'")
+
+    def test_wrong_root_tag(self):
+        with pytest.raises(ConfigurationError, match="expected <deliveryMode>"):
+            delivery_mode_from_xml("<mode name='x'/>")
+
+    def test_missing_name(self):
+        with pytest.raises(ConfigurationError, match="name attribute"):
+            delivery_mode_from_xml("<deliveryMode/>")
+
+    def test_empty_blocks_rejected(self):
+        """A mode with no communication blocks has no way to deliver
+        anything — §4.1 requires "one or more" blocks."""
+        with pytest.raises(ConfigurationError, match=">= 1 communication"):
+            delivery_mode_from_xml("<deliveryMode name='x'></deliveryMode>")
+
+    def test_block_with_no_actions_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 1 action"):
+            delivery_mode_from_xml(
+                "<deliveryMode name='x'><block/></deliveryMode>"
+            )
+
+    def test_unexpected_elements(self):
+        with pytest.raises(ConfigurationError, match="unexpected element"):
+            delivery_mode_from_xml(
+                "<deliveryMode name='x'><step/></deliveryMode>"
+            )
+        with pytest.raises(ConfigurationError, match="unexpected element"):
+            delivery_mode_from_xml(
+                "<deliveryMode name='x'><block><go/></block></deliveryMode>"
+            )
+
+    def test_action_requires_address(self):
+        with pytest.raises(ConfigurationError, match="requires an address"):
+            delivery_mode_from_xml(
+                "<deliveryMode name='x'><block><action/></block>"
+                "</deliveryMode>"
+            )
+
+    def test_invalid_ack_timeout(self):
+        with pytest.raises(ConfigurationError, match="invalid ackTimeout"):
+            delivery_mode_from_xml(
+                "<deliveryMode name='x'>"
+                "<block requireAck='true' ackTimeout='soon'>"
+                "<action address='IM'/></block></deliveryMode>"
+            )
+
+    def test_invalid_require_ack_boolean(self):
+        with pytest.raises(ConfigurationError, match="invalid boolean"):
+            delivery_mode_from_xml(
+                "<deliveryMode name='x'><block requireAck='si'>"
+                "<action address='IM'/></block></deliveryMode>"
+            )
+
+    def test_round_trip_preserves_ack_settings(self):
+        mode = DeliveryMode(
+            name="Critical",
+            blocks=[
+                CommunicationBlock(actions=[Action("IM")],
+                                   require_ack=True, ack_timeout=7.5),
+                CommunicationBlock(actions=[Action("SMS"), Action("Email")]),
+            ],
+        )
+        parsed = delivery_mode_from_xml(delivery_mode_to_xml(mode))
+        assert parsed.name == "Critical"
+        assert parsed.blocks[0].require_ack is True
+        assert parsed.blocks[0].ack_timeout == 7.5
+        assert parsed.blocks[1].require_ack is False
+        assert [a.address_ref for a in parsed.blocks[1].actions] == [
+            "SMS", "Email",
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Rejuvenation scheduling boundaries
+# ---------------------------------------------------------------------------
+
+
+class TestRejuvenationScheduling:
+    def test_before_target_same_day(self):
+        assert until(0.0, DEFAULT_NIGHTLY_TIME) == DEFAULT_NIGHTLY_TIME
+
+    def test_after_target_wraps_to_next_day(self):
+        now = DEFAULT_NIGHTLY_TIME + HOUR  # half past midnight-ish
+        assert until(now, DEFAULT_NIGHTLY_TIME) == DAY - HOUR
+
+    def test_exactly_at_target_waits_a_full_day(self):
+        """The nightly loop must not re-fire at the instant it woke up."""
+        assert until(DEFAULT_NIGHTLY_TIME, DEFAULT_NIGHTLY_TIME) == DAY
+
+    def test_day_offsets_are_irrelevant(self):
+        assert until(3 * DAY + HOUR, DEFAULT_NIGHTLY_TIME) == until(
+            HOUR, DEFAULT_NIGHTLY_TIME
+        )
+
+    def test_midnight_target_boundary(self):
+        assert until(0.0, 0.0) == DAY
+        assert until(DAY - 1.0, 0.0) == 1.0
+
+    def test_target_outside_a_day_rejected(self):
+        with pytest.raises(ValueError):
+            until(0.0, DAY)
+        with pytest.raises(ValueError):
+            until(0.0, -1.0)
+
+    def test_keyword_matching(self):
+        policy = RejuvenationPolicy()
+        assert policy.matches_keyword(f"please {DEFAULT_KEYWORD} now")
+        assert not policy.matches_keyword("please restart now")
+        assert not policy.matches_keyword(DEFAULT_KEYWORD.lower())
+
+    def test_extra_keywords(self):
+        policy = RejuvenationPolicy(keywords={"KICK-ME", DEFAULT_KEYWORD})
+        assert policy.matches_keyword("KICK-ME")
+
+
+# ---------------------------------------------------------------------------
+# Monkey thread: unmatched dialogs
+# ---------------------------------------------------------------------------
+
+
+class TestMonkeyUnmatchedDialogs:
+    def _make(self, **kwargs):
+        from repro.clients.screen import Screen
+        from repro.sim.kernel import Environment
+
+        env = Environment()
+        screen = Screen(env)
+        return env, screen, MonkeyThread(env, screen, **kwargs)
+
+    def test_unknown_caption_left_on_screen_and_recorded(self):
+        env, screen, monkey = self._make()
+        screen.pop_dialog("Previously unknown box", buttons=("Abort",))
+        assert monkey.scan_once() == 0
+        assert monkey.unknown_captions == {"Previously unknown box"}
+        assert len(screen.open_dialogs()) == 1
+        assert monkey.clicks == []
+
+    def test_registered_rule_with_stale_button_is_useless(self):
+        """A caption-button pair whose button no longer exists on the
+        dialog must be treated as unknown, not crash the click."""
+        env, screen, monkey = self._make()
+        monkey.register_rule("Session expired", "Reconnect")
+        screen.pop_dialog("Session expired", buttons=("Close",))
+        assert monkey.scan_once() == 0
+        assert "Session expired" in monkey.unknown_captions
+        assert len(screen.open_dialogs()) == 1
+
+    def test_registering_the_rule_recovers_the_dialog(self):
+        env, screen, monkey = self._make()
+        screen.pop_dialog("New box", buttons=("OK",))
+        monkey.scan_once()
+        monkey.register_rule("New box", "OK")
+        assert monkey.scan_once() == 1
+        assert screen.open_dialogs() == []
+        # unknown_captions is forensic history: it keeps the sighting.
+        assert "New box" in monkey.unknown_captions
+
+    def test_system_generic_rules_still_click(self):
+        env, screen, monkey = self._make()
+        caption, button = next(iter(SYSTEM_GENERIC_RULES.items()))
+        screen.pop_dialog(caption, buttons=(button, "Cancel"))
+        screen.pop_dialog("Mystery", buttons=("OK",))
+        assert monkey.scan_once() == 1
+        assert [c.caption for c in monkey.clicks] == [caption]
+        assert monkey.unknown_captions == {"Mystery"}
+
+    def test_register_rule_validates(self):
+        _env, _screen, monkey = self._make()
+        with pytest.raises(ValueError):
+            monkey.register_rule("", "OK")
+        with pytest.raises(ValueError):
+            monkey.register_rule("Caption", "")
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            self._make(interval=0.0)
+
+
+# ---------------------------------------------------------------------------
+# LatencyCollector.extend takes any iterable
+# ---------------------------------------------------------------------------
+
+
+class TestCollectorExtend:
+    def test_extend_accepts_a_generator(self):
+        collector = LatencyCollector()
+        collector.extend("ack", (float(v) for v in range(3)))
+        assert collector.samples("ack") == [0.0, 1.0, 2.0]
+
+    def test_extend_accepts_tuples_and_coerces(self):
+        collector = LatencyCollector()
+        collector.extend("ack", (1, 2))
+        assert collector.samples("ack") == [1.0, 2.0]
+        assert collector.summary("ack").count == 2
+
+    def test_failing_iterable_records_nothing(self):
+        def explode():
+            yield 1.0
+            raise RuntimeError("source died")
+
+        collector = LatencyCollector()
+        with pytest.raises(RuntimeError):
+            collector.extend("ack", explode())
+        assert collector.samples("ack") == []
