@@ -403,7 +403,12 @@ class MyAlertBuddy:
         delay = seconds_until_time_of_day(
             self.env.now, self.config.rejuvenation.nightly_time
         )
-        yield self.env.timeout(delay)
+        # The 11:30 PM deadline can be most of a day away; acquiring it
+        # through a TimerScope structurally cancels it when this
+        # incarnation is terminated first, instead of leaving the queue
+        # to carry the entry to a meaningless deadline.
+        with self.env.timers() as timers:
+            yield timers.acquire(delay)
         if self.alive:
             self.request_rejuvenation(
                 RejuvenationKind.NIGHTLY,

@@ -362,9 +362,19 @@ class PairSide:
     # ------------------------------------------------------------------
 
     def heartbeat_loop(self):
-        """Primary-side keep-alive; doubles as the post-partition catch-up."""
+        """Primary-side keep-alive; doubles as the post-partition catch-up.
+
+        The interval timer is acquired through a :class:`TimerScope` held
+        for the loop's whole life: when a crash or fencing handoff closes
+        this generator mid-sleep, the scope settles the pending beat
+        instead of leaving it to fire into a dead loop.
+        """
+        with self.env.timers() as timers:
+            yield from self._heartbeat_loop(timers)
+
+    def _heartbeat_loop(self, timers):
         while self.role is ReplicaRole.PRIMARY:
-            yield self.env.timeout(self.pair.heartbeat_interval)
+            yield timers.acquire(self.pair.heartbeat_interval)
             if self.role is not ReplicaRole.PRIMARY:
                 return
             if self.fenced_now():
@@ -520,8 +530,14 @@ class FailoverController:
     # ------------------------------------------------------------------
 
     def _monitor(self):
+        # Lease checks ride on scope-acquired timers: stopping the
+        # controller mid-sleep settles the pending check structurally.
+        with self.env.timers() as timers:
+            yield from self._monitor_loop(timers)
+
+    def _monitor_loop(self, timers):
         while self.running:
-            yield self.env.timeout(self.check_interval)
+            yield timers.acquire(self.check_interval)
             if not self.running:
                 return
             side = self.pair.passive_side

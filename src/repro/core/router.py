@@ -316,21 +316,22 @@ class DeliveryEngine:
                 parent=bspan.span_id,
                 pending=len(ack_events),
             )
-        timeout = self.env.timeout(block.ack_timeout)
-        yield self.env.any_of(list(ack_events) + [timeout])
+        # The ack-vs-timeout race runs under a TimerScope: when the ack
+        # wins, the losing guard would otherwise sit in the queue until
+        # ``block.ack_timeout`` — one dead entry per delivered alert,
+        # which at farm scale dominates the queue.  The scope settles the
+        # guard on *any* exit, including an Interrupt or GeneratorExit
+        # thrown into this generator mid-wait — exactly the paths a
+        # hand-written ``timeout.cancel()`` after the yield would miss.
+        with self.env.timers() as timers:
+            guard = timers.acquire(block.ack_timeout)
+            yield self.env.any_of(list(ack_events) + [guard])
         acked = next(
             (name for event, name in ack_events.items() if event.processed),
             None,
         )
         for peer, seq in pending_keys:
             self.acks.cancel(peer, seq)
-        # Cancel the loser of the ack-vs-timeout race.  When the ack wins,
-        # the guard timer would otherwise sit in the heap until
-        # ``block.ack_timeout`` — one dead entry per delivered alert, which
-        # at farm scale dominates the queue.  (The AnyOf already cancels
-        # orphaned timers on trigger; this keeps the invariant local and
-        # explicit.)  Idempotent, and a no-op when the timeout fired.
-        timeout.cancel()
         if acked is not None:
             outcome.status = BlockStatus.SUCCESS
             outcome.acked_by = acked

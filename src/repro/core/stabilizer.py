@@ -96,8 +96,11 @@ class SelfStabilizer:
         return corrections
 
     def _loop(self, name: str, interval: float, check):
-        while self._running:
-            yield self.env.timeout(interval)
-            if not self._running:
-                return
-            self._execute(name, check)
+        # Scope-acquired interval timers: tearing the task down mid-sleep
+        # (incarnation crash, rejuvenation) settles the pending tick.
+        with self.env.timers() as timers:
+            while self._running:
+                yield timers.acquire(interval)
+                if not self._running:
+                    return
+                self._execute(name, check)

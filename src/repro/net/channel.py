@@ -118,8 +118,15 @@ class ChannelBase:
             self.env.process(self._outage_timer(), name=f"{self.name}-outage")
 
     def _outage_timer(self):
-        while self._outage_until is not None and self.env.now < self._outage_until:
-            yield self.env.timeout(self._outage_until - self.env.now)
+        # Extension-aware sleep under a TimerScope: each extension re-arms
+        # a fresh scope-owned timer, and killing the channel's host while
+        # an outage is pending settles the timer with the process.
+        with self.env.timers() as timers:
+            while (
+                self._outage_until is not None
+                and self.env.now < self._outage_until
+            ):
+                yield timers.acquire(self._outage_until - self.env.now)
         self._outage_until = None
         self.set_available(True)
 

@@ -196,8 +196,10 @@ class IMService(ChannelBase):
         return message
 
     def _deliver(self, message: IMMessage):
-        delay = self.latency.draw(self.rng)
-        yield self.env.timeout(delay)
+        # Transit time rides on a scope-owned timer so an interrupted
+        # delivery process never leaves its in-flight entry queued.
+        with self.env.timers() as timers:
+            yield timers.acquire(self.latency.draw(self.rng))
         if self.loss_probability and self.rng.random() < self.loss_probability:
             self.stats.lost += 1
             if self.env.tracer is not None:

@@ -102,8 +102,10 @@ class SMSGateway(ChannelBase):
         return message
 
     def _deliver(self, message: SMSMessage):
-        delay = self.latency.draw(self.rng)
-        yield self.env.timeout(delay)
+        # Transit time rides on a scope-owned timer so an interrupted
+        # delivery process never leaves its in-flight entry queued.
+        with self.env.timers() as timers:
+            yield timers.acquire(self.latency.draw(self.rng))
         phone = self.phone(message.recipient)
         if not phone.reachable:
             self.stats.lost += 1

@@ -34,7 +34,10 @@ class Event:
     :attr:`callbacks` run when the kernel pops the event off its queue.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_cancelled")
+    __slots__ = (
+        "env", "callbacks", "_value", "_ok", "_defused", "_cancelled",
+        "_pooled",
+    )
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -47,6 +50,9 @@ class Event:
         #: Tombstone flag: the kernel discards cancelled queue entries
         #: instead of processing them (only timers ever set this).
         self._cancelled = False
+        #: Reuse-after-free guard: True only while the object sits in the
+        #: scheduler's free list (see :class:`repro.sim.pool.EventPool`).
+        self._pooled = False
 
     @property
     def triggered(self) -> bool:
@@ -135,7 +141,14 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
-        if delay < 0:
+        if not delay >= 0:
+            # Catches NaN too: NaN fails *every* comparison, and a NaN
+            # deadline in a queue poisons (time, sequence) ordering.
+            if delay != delay:
+                raise ValueError(
+                    f"timeout delay must be a number, got {delay!r} "
+                    "(NaN never compares, it would corrupt the queue order)"
+                )
             raise ValueError(f"negative timeout delay {delay!r}")
         super().__init__(env)
         self.delay = delay

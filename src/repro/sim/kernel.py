@@ -1,66 +1,80 @@
-"""The discrete-event simulation environment (event queue + clock).
+"""The discrete-event simulation environment (clock + pluggable scheduler).
 
-The environment owns two queues sharing one monotonically increasing
-``sequence`` tie-breaker, so events scheduled for the same instant are
-processed in scheduling order — this, plus seeded randomness, makes every
-run bit-for-bit deterministic:
+The environment is the public face of the kernel; the event containers
+live behind the :class:`~repro.sim.scheduler.Scheduler` interface with
+two backends sharing one contract:
 
-- a priority heap of ``(time, sequence, event)`` entries for delayed
-  events (timers);
-- a FIFO of zero-delay entries (every ``succeed()``/``fail()`` and every
-  process resume lands here).  Zero-delay scheduling is the kernel's
-  hottest operation, and a deque append/popleft is O(1) versus the heap's
-  O(log n) — with thousands of pending timers in a farm run, that log n
-  is real money.  Entries in the FIFO carry the time they were scheduled
-  at (≤ now) and the heap never holds entries below now, so "next event"
-  is simply the smaller ``(time, sequence)`` head of the two queues: the
-  merged order is identical to a single heap's.
+- ``heap`` (:class:`~repro.sim.scheduler.HeapScheduler`): binary heap +
+  zero-delay deque, the reference implementation;
+- ``wheel`` (:class:`~repro.sim.wheel.WheelScheduler`): hierarchical
+  timing wheel with O(1) schedule/cancel for the short timers that
+  dominate alert delivery, cascading levels for day-scale horizons.
 
-Cancelled timers (see :meth:`~repro.sim.events.Timeout.cancel`) stay in
-the heap as *tombstones*: :meth:`step` and :meth:`peek` skip them lazily,
-and when more than half the queued entries are dead the queue is compacted
-in one O(n) pass.  Lazy deletion never reorders live entries — tombstones
-only disappear — so determinism is unaffected.
+Both produce the same merged ``(time, sequence)`` pop order — events
+scheduled for the same instant are processed in scheduling order — so
+every run is bit-for-bit deterministic and journals are byte-identical
+across backends.  Pick a backend per environment with
+``Environment(scheduler="heap"|"wheel")`` or process-wide with the
+``REPRO_SCHEDULER`` environment variable (default: wheel).
+
+Cancelled timers (see :meth:`~repro.sim.events.Timeout.cancel`) stay
+queued as *tombstones* skipped lazily and compacted in one O(n) pass
+when they dominate; lazy deletion never reorders live entries.  Each
+scheduler also recycles provably unreferenced ``Event``/``Timeout``
+objects through an :class:`~repro.sim.pool.EventPool`, which is why the
+hot factories (``env.timeout``, ``env.event``) and ``env.schedule`` are
+bound scheduler methods rather than ``Environment`` methods — one
+attribute load, no double dispatch, direct access to the free lists.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections import deque
 from typing import Any, Generator, Iterable, Optional
 
 from repro.errors import SimulationError, StopSimulation
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+from repro.sim.scheduler import Scheduler, TimerScope, make_scheduler
 
 _INFINITY = float("inf")
 
 
 class Environment:
-    """Execution environment for a single simulation run."""
+    """Execution environment for a single simulation run.
+
+    ``schedule``, ``timeout``, ``event`` and ``_note_cancelled`` are
+    *instance* attributes bound to the scheduler's methods at
+    construction (hot-path de-virtualization); everything else is a
+    normal method or property delegating to :attr:`scheduler`.
+    """
 
     __slots__ = (
-        "_now", "_queue", "_immediate", "_sequence", "_active_process",
-        "_dead_entries", "tracer",
+        "_scheduler", "_active_process", "tracer",
+        # Scheduler-bound hot-path callables (see class docstring).
+        "schedule", "timeout", "event", "_note_cancelled",
     )
 
-    def __init__(self, initial_time: float = 0.0):
-        self._now = float(initial_time)
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        scheduler: Optional[str] = None,
+    ):
+        sched = make_scheduler(self, scheduler, float(initial_time))
+        self._scheduler = sched
         #: Structured-tracing hook (:class:`repro.obs.TraceSink`), None when
         #: tracing is off.  Instrumentation sites read this once per probe
         #: (``tr = env.tracer``) so the disabled path costs one slot load.
         self.tracer = None
-        self._queue: list[tuple[float, int, Event]] = []
-        self._immediate: deque[tuple[float, int, Event]] = deque()
-        self._sequence = 0
         self._active_process: Optional[Process] = None
-        #: Tombstoned entries still sitting in either queue.
-        self._dead_entries = 0
+        self.schedule = sched.schedule
+        self.timeout = sched.timeout
+        self.event = sched.event
+        self._note_cancelled = sched.note_cancelled
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
-        return self._now
+        return self._scheduler._now
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -68,30 +82,28 @@ class Environment:
         return self._active_process
 
     @property
+    def scheduler(self) -> Scheduler:
+        """The scheduling backend (diagnostics: ``.name``, ``.pool``,
+        ``.live_entries()``)."""
+        return self._scheduler
+
+    @property
     def queue_depth(self) -> int:
-        """Live (non-tombstoned) entries across both queues.
+        """Live (non-tombstoned) entries across the scheduler's queues.
 
         Diagnostic/test hook: after an ack-vs-timeout race resolves, the
         loser must not linger here.
         """
-        return len(self._queue) + len(self._immediate) - self._dead_entries
+        return self._scheduler.queue_depth
 
     @property
     def dead_entries(self) -> int:
         """Tombstoned entries not yet skipped or compacted away."""
-        return self._dead_entries
+        return self._scheduler.dead_entries
 
     # ------------------------------------------------------------------
-    # Factories
+    # Factories (``event`` and ``timeout`` are scheduler-bound slots)
     # ------------------------------------------------------------------
-
-    def event(self) -> Event:
-        """Create a new untriggered event."""
-        return Event(self)
-
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that triggers ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
 
     def process(
         self,
@@ -109,101 +121,29 @@ class Environment:
         """Event that triggers when all of ``events`` have."""
         return AllOf(self, events)
 
+    def timers(self) -> TimerScope:
+        """A :class:`TimerScope` — the explicit timer lifecycle handle.
+
+        ::
+
+            with env.timers() as timers:
+                guard = timers.acquire(ack_timeout)
+                yield env.any_of([ack, guard])
+            # guard is structurally cancelled if it lost
+        """
+        return TimerScope(self)
+
     # ------------------------------------------------------------------
-    # Scheduling and execution
+    # Execution
     # ------------------------------------------------------------------
-
-    def schedule(self, event: Event, delay: float = 0.0) -> None:
-        """Enqueue a triggered event for processing at ``now + delay``."""
-        if delay == 0.0:
-            # Fast path: zero-delay events (succeed/fail/resume) bypass the
-            # heap.  FIFO order == sequence order, so the merged pop order
-            # is exactly what one big heap would produce.
-            self._sequence += 1
-            self._immediate.append((self._now, self._sequence, event))
-            return
-        if delay < 0:
-            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
-        self._sequence += 1
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
-
-    def _note_cancelled(self) -> None:
-        """A queued entry became a tombstone; compact when they dominate."""
-        self._dead_entries += 1
-        if self._dead_entries * 2 > len(self._queue) + len(self._immediate):
-            self._compact()
-
-    def _compact(self) -> None:
-        """Drop every tombstone in one pass (heapify keeps the live order:
-        pops are by the unique ``(time, sequence)`` key either way)."""
-        self._queue = [
-            entry for entry in self._queue if not entry[2]._cancelled
-        ]
-        heapq.heapify(self._queue)
-        if self._immediate:
-            self._immediate = deque(
-                entry for entry in self._immediate if not entry[2]._cancelled
-            )
-        self._dead_entries = 0
 
     def peek(self) -> float:
-        """Time of the next *live* queued event, or ``float('inf')`` if idle.
-
-        Tombstoned (cancelled) entries at the head of either queue are
-        discarded on the way: a cancelled timer's timestamp must never be
-        acted on by ``run(until=...)`` or by harness drain loops.
-        """
-        immediate = self._immediate
-        while immediate and immediate[0][2]._cancelled:
-            immediate.popleft()
-            self._dead_entries -= 1
-        queue = self._queue
-        while queue and queue[0][2]._cancelled:
-            heapq.heappop(queue)
-            self._dead_entries -= 1
-        if immediate:
-            if queue and queue[0] < immediate[0]:
-                return queue[0][0]
-            return immediate[0][0]
-        return queue[0][0] if queue else _INFINITY
-
-    def _pop_live(self) -> Optional[tuple[float, int, Event]]:
-        """Pop the next live entry across both queues (skipping tombstones),
-        or None when nothing live remains."""
-        immediate = self._immediate
-        queue = self._queue
-        while True:
-            if immediate:
-                if queue and queue[0] < immediate[0]:
-                    entry = heapq.heappop(queue)
-                else:
-                    entry = immediate.popleft()
-            elif queue:
-                entry = heapq.heappop(queue)
-            else:
-                return None
-            if entry[2]._cancelled:
-                self._dead_entries -= 1
-                continue
-            return entry
-
-    def _process(self, entry: tuple[float, int, Event]) -> None:
-        self._now = entry[0]
-        event = entry[2]
-        callbacks = event.callbacks
-        event.callbacks = None
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not event._defused:
-            # A failure nobody waited on: surface it instead of losing it.
-            raise event.value
+        """Time of the next *live* queued event, or ``float('inf')``."""
+        return self._scheduler.peek()
 
     def step(self) -> None:
         """Process exactly one live event from the queue."""
-        entry = self._pop_live()
-        if entry is None:
-            raise SimulationError("no events scheduled")
-        self._process(entry)
+        self._scheduler.step()
 
     def run(self, until: Any = None) -> Any:
         """Run until ``until`` (a time or an event) or queue exhaustion.
@@ -214,45 +154,42 @@ class Environment:
         - ``until=<Event>``: run until that event is processed and return its
           value (raising its exception if it failed).
         """
+        sched = self._scheduler
         if until is None:
-            stop_at = _INFINITY
-        elif isinstance(until, Event):
+            sched.drain(_INFINITY)
+            return None
+        if isinstance(until, Event):
             if until.processed:
                 if not until.ok:
                     raise until.value
                 return until.value
             until.callbacks.append(self._stop_on_event)
             try:
-                while True:
-                    entry = self._pop_live()
-                    if entry is None:
-                        break
-                    self._process(entry)
+                sched.drain(_INFINITY)
             except StopSimulation as stop:
                 return stop.value
+            # Queue exhausted before the event fired.  Deregister our
+            # callback: the event may legitimately trigger later (user
+            # code firing it by hand, a fresh run), and a stale
+            # _stop_on_event would raise StopSimulation into whatever
+            # drain happens to be active then.
+            callbacks = until.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(self._stop_on_event)
+                except ValueError:
+                    pass
             raise SimulationError(
                 "run(until=event) exhausted the queue before the event fired"
             )
-        else:
-            stop_at = float(until)
-            if stop_at < self._now:
-                raise ValueError(
-                    f"cannot run until {stop_at!r}, already at {self._now!r}"
-                )
-
-        while True:
-            entry = self._pop_live()
-            if entry is None:
-                break
-            if entry[0] > stop_at:
-                # Beyond the horizon: the entry can only have come from the
-                # heap (immediates are at or before ``now``), so push it
-                # back untouched — same (time, sequence) key, same order.
-                heapq.heappush(self._queue, entry)
-                break
-            self._process(entry)
+        stop_at = float(until)
+        if stop_at < sched._now:
+            raise ValueError(
+                f"cannot run until {stop_at!r}, already at {sched._now!r}"
+            )
+        sched.drain(stop_at)
         if stop_at != _INFINITY:
-            self._now = max(self._now, stop_at)
+            sched._now = max(sched._now, stop_at)
         return None
 
     @staticmethod

@@ -326,7 +326,7 @@ class TestGuardTimerHygiene:
         assert outcome.delivered_via == 0
         # The 600 s guard lost the race at t~1.0; nothing live may remain
         # at its deadline (rig background loops run on much shorter timers).
-        live_times = [e[0] for e in rig.env._queue if not e[2]._cancelled]
+        live_times = [e[0] for e in rig.env.scheduler.live_entries()]
         assert all(t < 600.0 for t in live_times), live_times
 
     def test_many_acked_blocks_keep_queue_depth_bounded(self):
@@ -339,8 +339,7 @@ class TestGuardTimerHygiene:
         # tombstone, and compaction must keep the dead count bounded instead
         # of letting one corpse per alert accumulate.
         live_guards = [
-            e for e in rig.env._queue
-            if not e[2]._cancelled and e[0] >= 900.0
+            e for e in rig.env.scheduler.live_entries() if e[0] >= 900.0
         ]
         assert live_guards == []
         assert rig.env.dead_entries <= rig.env.queue_depth + 1

@@ -29,12 +29,17 @@ from repro.errors import Interrupt
 HORIZON = 200.0
 CHECKPOINTS = (25.0, 60.0, 110.0, HORIZON)
 
+#: Both schedulers must match the frozen reference byte-for-byte.
+BACKENDS = ("heap", "wheel")
 
-def make_program(seed, n_procs=6, n_ops=7):
+
+def make_program(seed, n_procs=6, n_ops=7, delay_fn=None, checkpoints=None):
     """Generate a random schedule as plain data (kernel-independent)."""
     rng = random.Random(seed)
 
     def delays(k):
+        if delay_fn is not None:
+            return [delay_fn(rng) for _ in range(k)]
         return [round(rng.uniform(0.1, 40.0), 3) for _ in range(k)]
 
     n_events = rng.randint(1, 4)
@@ -70,12 +75,15 @@ def make_program(seed, n_procs=6, n_ops=7):
             else:
                 ops.append(("wait", rng.randrange(n_events)))
         procs.append(ops)
-    return {"n_events": n_events, "procs": procs}
+    program = {"n_events": n_events, "procs": procs}
+    if checkpoints is not None:
+        program["checkpoints"] = checkpoints
+    return program
 
 
-def interpret(kernel, program):
+def interpret(kernel, program, **env_kwargs):
     """Run ``program`` under ``kernel`` and return its observable trace."""
-    env = kernel.Environment()
+    env = kernel.Environment(**env_kwargs)
     events = [env.event() for _ in range(program["n_events"])]
     registry = []
     trace = []
@@ -146,7 +154,7 @@ def interpret(kernel, program):
         registry.append(env.process(run_ops(env, ops, f"p{index}")))
 
     clocks = []
-    for checkpoint in CHECKPOINTS:
+    for checkpoint in program.get("checkpoints", CHECKPOINTS):
         env.run(until=checkpoint)
         clocks.append(env.now)
 
@@ -157,13 +165,102 @@ def interpret(kernel, program):
     return {"trace": trace, "clocks": clocks, "finals": finals}
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("seed", range(30))
-def test_random_schedules_match_reference(seed):
+def test_random_schedules_match_reference(seed, backend):
     program = make_program(seed)
-    assert interpret(optimized, program) == interpret(reference, program)
+    assert interpret(optimized, program, scheduler=backend) == interpret(
+        reference, program
+    )
 
 
-def test_interrupt_heavy_schedule_matches_reference():
+def _boundary_delay(rng):
+    """Deadlines hugging the wheel's slot and page boundaries.
+
+    The wheel buckets deadlines by ``int(time)`` into 256-slot pages
+    (levels at 256 and 65536 ticks).  These delays land entries exactly
+    on, a hair before, and a hair after those boundaries — the places
+    where staging, cascading and straggler handling must still produce
+    the reference order.
+    """
+    base = rng.choice([1.0, 255.0, 256.0, 257.0, 511.0, 512.0])
+    jitter = rng.choice([-0.001, 0.0, 0.001, 0.5, 0.999])
+    return round(max(0.001, base + jitter), 6)
+
+
+BOUNDARY_CHECKPOINTS = (200.0, 256.0, 300.0, 512.0, 1500.0)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", range(10))
+def test_slot_boundary_schedules_match_reference(seed, backend):
+    program = make_program(
+        seed,
+        delay_fn=_boundary_delay,
+        checkpoints=BOUNDARY_CHECKPOINTS,
+    )
+    assert interpret(optimized, program, scheduler=backend) == interpret(
+        reference, program
+    )
+
+
+def _long_horizon_delay(rng):
+    """Deadlines spanning level 1, level 2 and the overflow heap."""
+    scale = rng.choice([1.0, 300.0, 70_000.0, 20_000_000.0])
+    return round(rng.uniform(0.1, 40.0) * scale, 3)
+
+
+LONG_CHECKPOINTS = (300.0, 70_000.0, 20_000_000.0, 900_000_000.0)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", range(10))
+def test_long_horizon_schedules_match_reference(seed, backend):
+    program = make_program(
+        seed,
+        delay_fn=_long_horizon_delay,
+        checkpoints=LONG_CHECKPOINTS,
+    )
+    assert interpret(optimized, program, scheduler=backend) == interpret(
+        reference, program
+    )
+
+
+def make_cancel_storm_program(seed, n_procs=8):
+    """Every op is a wide AnyOf race: ~75% of all timers get cancelled.
+
+    This is the mass-cancellation shape — tombstones dominate the queues,
+    compaction fires repeatedly mid-run, and the survivors must still pop
+    in exactly the reference order.
+    """
+    rng = random.Random(seed)
+    procs = []
+    for index in range(n_procs):
+        ops = []
+        for _ in range(rng.randint(3, 6)):
+            if rng.random() < 0.2:
+                ops.append(("interrupt", rng.randrange(n_procs),
+                            round(rng.uniform(0.1, 5.0), 3)))
+            else:
+                ops.append(("any", [
+                    round(rng.uniform(0.1, 60.0), 3)
+                    for _ in range(rng.randint(3, 4))
+                ]))
+        procs.append(ops)
+    return {"n_events": 1, "procs": procs}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", range(10))
+def test_cancel_storm_schedules_match_reference(seed, backend):
+    program = make_cancel_storm_program(seed)
+    assert interpret(optimized, program, scheduler=backend) == interpret(
+        reference, program
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_interrupt_heavy_schedule_matches_reference(backend):
     # Every process tries to interrupt its neighbour while racing timers —
     # the worst case for wait-cancellation bookkeeping.
     program = {
@@ -174,10 +271,13 @@ def test_interrupt_heavy_schedule_matches_reference():
             for i in range(4)
         ],
     }
-    assert interpret(optimized, program) == interpret(reference, program)
+    assert interpret(optimized, program, scheduler=backend) == interpret(
+        reference, program
+    )
 
 
-def test_shared_event_races_match_reference():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_shared_event_races_match_reference(backend):
     # One event shared by three AnyOf races and a direct waiter: losing
     # timers may be cancelled, the shared event must not be.
     program = {
@@ -189,4 +289,6 @@ def test_shared_event_races_match_reference():
             [("any", [6.0, 70.0]), ("fire", 1, 1.0, 8), ("wait", 1)],
         ],
     }
-    assert interpret(optimized, program) == interpret(reference, program)
+    assert interpret(optimized, program, scheduler=backend) == interpret(
+        reference, program
+    )
