@@ -175,6 +175,14 @@ def _e11(seed: int, jobs: int | None = None) -> str:
     return failover_report(result)
 
 
+def _e12(seed: int, jobs: int | None = None) -> str:
+    from repro.experiments import run_storm_comparison
+    from repro.metrics import admission_report
+
+    result = run_storm_comparison(seed=seed, jobs=jobs)
+    return admission_report(result)
+
+
 def _score_trace(spans) -> tuple:
     """Interest score for --alert auto: prefer the trace that exercised the
     most machinery (failover handoffs, then fallback blocks, then sheer
@@ -265,10 +273,11 @@ EXPERIMENTS = {
     "e9": ("HA ablation (slow)", _e9),
     "e10": ("chaos sweep (oracle-checked)", _e10),
     "e11": ("warm-standby failover vs MDC-only", _e11),
+    "e12": ("storm hardening: admission on vs off", _e12),
 }
 
 #: Experiments whose sweeps accept a worker-pool size (``--jobs``).
-PARALLEL_EXPERIMENTS = frozenset({"e10", "e11"})
+PARALLEL_EXPERIMENTS = frozenset({"e10", "e11", "e12"})
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -283,13 +292,13 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trace_command(argv[1:])
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e11), 'all' (e1-e8), 'list', or 'trace' "
+        help="experiment id (e1..e12), 'all' (e1-e8), 'list', or 'trace' "
         "(span-tree forensics; see python -m repro trace --help)",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--jobs", type=int, default=None,
-        help="worker processes for sweep experiments (e10/e11); results are "
+        help="worker processes for sweep experiments (e10/e11/e12); results are "
         "identical to --jobs 1, just faster",
     )
     args = parser.parse_args(argv)

@@ -23,6 +23,17 @@ Layering follows Figure 3 of the paper:
 """
 
 from repro.core.addresses import AddressBook, UserAddress
+from repro.core.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    BackoffPolicy,
+    DeadLetter,
+    DeadLetterQueue,
+    DedupStore,
+    LoadShedder,
+    TokenBucket,
+    dedup_key,
+)
 from repro.core.alert import Alert, AlertSeverity
 from repro.core.buddy import MyAlertBuddy
 from repro.core.classifier import AlertClassifier, ExtractionRule
@@ -35,6 +46,7 @@ from repro.core.managers import EmailManager, IMManager, SMSManager
 from repro.core.monkey import MonkeyThread
 from repro.core.pessimistic_log import LogEntry, PessimisticLog
 from repro.core.pipeline import (
+    AdmissionStage,
     AggregateStage,
     AlertPipeline,
     ClassifyStage,
@@ -44,6 +56,7 @@ from repro.core.pipeline import (
     RetryStage,
     RouteStage,
     SourceDeliveryPipeline,
+    ThrottleStage,
 )
 from repro.core.rejuvenation import RejuvenationPolicy
 from repro.core.replication import (
@@ -64,15 +77,22 @@ from repro.core.watchdog import MasterDaemonController
 __all__ = [
     "Action",
     "AddressBook",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionStage",
     "AggregateStage",
     "Alert",
     "AlertClassifier",
     "AlertPipeline",
     "AlertSeverity",
+    "BackoffPolicy",
     "BlockOutcome",
     "BuddyFarm",
     "ClassifyStage",
     "CommunicationBlock",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "DedupStore",
     "DeliveryEngine",
     "DeliveryMode",
     "DeliveryOutcome",
@@ -88,6 +108,7 @@ __all__ = [
     "FilterStage",
     "Host",
     "IMManager",
+    "LoadShedder",
     "LogEntry",
     "MasterDaemonController",
     "MonkeyThread",
@@ -107,8 +128,11 @@ __all__ = [
     "SourceDeliveryPipeline",
     "Subscription",
     "SubscriptionLayer",
+    "ThrottleStage",
     "TimeWindow",
+    "TokenBucket",
     "UserAddress",
     "UserEndpoint",
     "build_pair",
+    "dedup_key",
 ]

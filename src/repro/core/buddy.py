@@ -26,6 +26,11 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
+from repro.core.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    build_controller,
+)
 from repro.core.aggregator import CategoryAggregator
 from repro.core.classifier import AlertClassifier
 from repro.core.endpoint import IncomingAlert, SimbaEndpoint
@@ -94,6 +99,25 @@ class BuddyConfig:
     #: Forwarded to :attr:`AlertPipeline.on_outcome` — observes every
     #: completed pipeline trip (the delivery oracle's capture point).
     pipeline_observer: Optional[Callable] = None
+    #: Traffic hardening (rate limits, dedup, retry budgets, shedding).
+    #: None keeps the legacy unhardened path bit-for-bit.
+    admission: Optional[AdmissionConfig] = None
+    _admission_controller: Optional[AdmissionController] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def admission_controller(self) -> Optional[AdmissionController]:
+        """The lazily-built, *persistent* admission controller.
+
+        Lives on the config — which outlives incarnations — so dedup keys
+        and per-alert retry budgets survive MAB crashes and MDC restarts;
+        a crash must not refill an alert's retry budget.
+        """
+        if self.admission is not None and self._admission_controller is None:
+            self._admission_controller = build_controller(
+                self.admission, self.user
+            )
+        return self._admission_controller
 
 
 @dataclass

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.addresses import AddressBook
+    from repro.core.admission import AdmissionConfig
     from repro.core.host import Host
     from repro.core.replication import ReplicatedPair
     from repro.core.user_endpoint import Receipt, UserEndpoint
@@ -69,6 +70,9 @@ class FarmProfile:
     #: Spread launches over [0, launch_stagger) seconds (per-shard RNG) so
     #: periodic maintenance does not fire in lockstep across the farm.
     launch_stagger: float = 0.0
+    #: Traffic hardening applied to every tenant (rate limits, dedup,
+    #: retry budgets, storm shedding).  None = legacy unhardened path.
+    admission: Optional["AdmissionConfig"] = None
 
 
 @dataclass
@@ -143,6 +147,8 @@ class BuddyFarm:
             deployment.config.sanity_interval = profile.sanity_interval
         deployment.config.monkey_enabled = profile.monkey_enabled
         deployment.config.rejuvenation.nightly_enabled = profile.nightly_enabled
+        if profile.admission is not None:
+            deployment.config.admission = profile.admission
 
         tenant = FarmTenant(
             name=name,
@@ -345,3 +351,19 @@ class BuddyFarm:
             "delivery_failed": counts["delivery_failed"],
             "counts": counts,
         }
+
+    def admission_summary(self) -> Optional[dict]:
+        """Farm-wide admission rollup, or None when hardening is off."""
+        totals: Counter = Counter()
+        tenants_hardened = 0
+        for tenant in self._by_index:
+            controller = tenant.deployment.config.admission_controller()
+            if controller is None:
+                continue
+            tenants_hardened += 1
+            for key, value in controller.summary().items():
+                if key != "owner":
+                    totals[key] += value
+        if tenants_hardened == 0:
+            return None
+        return {"tenants_hardened": tenants_hardened, **totals}

@@ -38,6 +38,7 @@ from repro.errors import AlertRejected
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.addresses import AddressBook
+    from repro.core.admission import AdmissionController
     from repro.core.alert import Alert
     from repro.core.buddy import BuddyConfig, BuddyJournal
     from repro.core.delivery_modes import DeliveryMode
@@ -103,6 +104,87 @@ class PipelineStage:
     def run(self, ctx: PipelineContext):  # pragma: no cover - interface
         raise NotImplementedError
         yield  # noqa: W0101 - marks this as a generator to subclasses
+
+
+def _admission_for(config) -> Optional["AdmissionController"]:
+    """The persistent admission controller, or None when unconfigured.
+
+    Resolved through the config (not the incarnation) so retry budgets
+    and dedup keys survive MAB crashes and MDC restarts.
+    """
+    getter = getattr(config, "admission_controller", None)
+    return getter() if getter is not None else None
+
+
+class AdmissionStage(PipelineStage):
+    """Storm-mode load shedding at the front of the pipeline.
+
+    Under storm (arrival rate or inbox depth over threshold), low-priority
+    alerts are dropped (``shed``) or folded into a recent same-keyword
+    delivery (``coalesced``) — both explicit journal outcomes, never a
+    silent drop.  Retries are already-admitted traffic and pass through.
+    A permissive config draws no RNG and yields nothing, so journals stay
+    byte-identical with admission off.
+    """
+
+    name = "admission"
+
+    def run(self, ctx: PipelineContext):
+        controller = _admission_for(ctx.config)
+        if controller is None or controller.shedder is None:
+            return
+        if ctx.incoming.retry_users is not None:
+            return
+        decision = controller.admit(
+            ctx.env.now,
+            ctx.alert.alert_id,
+            ctx.alert.keyword or ctx.alert.subject,
+            ctx.alert.severity.value,
+            len(ctx.endpoint.alert_inbox),
+        )
+        if ctx.trace_stage is not None:
+            ctx.trace_stage.annotations["admission"] = decision.action
+            if decision.reason:
+                ctx.trace_stage.annotations["reason"] = decision.reason
+        if decision.action == "shed":
+            ctx.finish("shed", decision.reason)
+        elif decision.action == "coalesce":
+            ctx.finish("coalesced", f"into {decision.coalesced_into}")
+        return
+        yield  # pragma: no cover - purely synchronous stage
+
+
+class ThrottleStage(PipelineStage):
+    """Token-bucket pacing (global + per-recipient) before routing.
+
+    Reserves one token in every configured scope; a short shortage is
+    absorbed by waiting for the refill under a ``TimerScope`` (so a crash
+    mid-wait cannot leak the timer), while a wait beyond
+    ``max_throttle_delay`` rate-limits the alert as an explicit terminal
+    outcome instead of queueing unboundedly.
+    """
+
+    name = "throttle"
+
+    def run(self, ctx: PipelineContext):
+        controller = _admission_for(ctx.config)
+        if controller is None:
+            return
+        wait = controller.reserve_route(ctx.env.now, ctx.config.user)
+        if wait is None:
+            controller.count_shed("rate_limited")
+            if ctx.trace_stage is not None:
+                ctx.trace_stage.annotations["admission"] = "rate_limited"
+            ctx.finish(
+                "rate_limited",
+                f"throttle wait over {controller.config.max_throttle_delay:.0f}s",
+            )
+            return
+        if wait > 0:
+            if ctx.trace_stage is not None:
+                ctx.trace_stage.annotations["throttle_wait"] = round(wait, 3)
+            with ctx.env.timers() as timers:
+                yield timers.acquire(wait)
 
 
 class ClassifyStage(PipelineStage):
@@ -231,7 +313,22 @@ class RetryStage(PipelineStage):
         config = ctx.config
         incoming = ctx.incoming
         alert = ctx.alert
-        if ctx.failed_users and incoming.attempts + 1 < config.delivery_max_attempts:
+        controller = _admission_for(config)
+        if (
+            ctx.failed_users
+            and incoming.attempts + 1 < config.delivery_max_attempts
+            and (
+                controller is None
+                or controller.take_retry_token(alert.alert_id)
+            )
+        ):
+            delay = (
+                config.delivery_retry_delay
+                if controller is None
+                else controller.retry_delay(
+                    incoming.attempts, config.delivery_retry_delay
+                )
+            )
             ctx.journal.record(
                 ctx.env.now,
                 "retry_scheduled",
@@ -239,7 +336,7 @@ class RetryStage(PipelineStage):
                 alert_id=alert.alert_id,
             )
             ctx.env.process(
-                self._requeue(ctx, incoming, set(ctx.failed_users)),
+                self._requeue(ctx, incoming, set(ctx.failed_users), delay),
                 name=f"retry-{alert.alert_id}",
             )
             # While the chain is in flight, later incoming copies (sender
@@ -253,29 +350,53 @@ class RetryStage(PipelineStage):
             ctx.finished = True
             ctx.outcome_kind = "retry_scheduled"
             return
+        terminal = "routed"
         if ctx.failed_users:
-            ctx.journal.record(
-                ctx.env.now,
-                "delivery_abandoned",
-                f"gave up after {config.delivery_max_attempts} attempts",
-                alert_id=alert.alert_id,
-            )
+            if controller is not None and controller.config.retry_budget is not None:
+                # Poison path: the alert's cross-incarnation retry budget
+                # is spent — park it in the dead-letter queue instead of
+                # retrying a persistently-failing delivery forever.
+                letter = controller.dead_letter(
+                    alert.alert_id,
+                    "retry budget exhausted",
+                    ctx.env.now,
+                    incoming.attempts + 1,
+                )
+                ctx.journal.record(
+                    ctx.env.now,
+                    "dead_lettered",
+                    f"budget exhausted after {letter.attempts} attempts "
+                    f"for {sorted(ctx.failed_users)}",
+                    alert_id=alert.alert_id,
+                )
+                terminal = "dead_lettered"
+            else:
+                ctx.journal.record(
+                    ctx.env.now,
+                    "delivery_abandoned",
+                    f"gave up after {config.delivery_max_attempts} attempts",
+                    alert_id=alert.alert_id,
+                )
+                terminal = "delivery_abandoned"
         ctx.journal.routed_ids.add(alert.alert_id)
         ctx.journal.retry_pending.discard(alert.alert_id)
         if ctx.entry is not None:
             ctx.log.mark_processed(ctx.entry.entry_id)
         ctx.finished = True
-        ctx.outcome_kind = (
-            "delivery_abandoned" if ctx.failed_users else "routed"
-        )
+        ctx.outcome_kind = terminal
         return
         yield  # pragma: no cover - only waits inside _requeue
 
     @staticmethod
     def _requeue(
-        ctx: PipelineContext, incoming: IncomingAlert, failed_users: set[str]
+        ctx: PipelineContext,
+        incoming: IncomingAlert,
+        failed_users: set[str],
+        delay: Optional[float] = None,
     ):
-        yield ctx.env.timeout(ctx.config.delivery_retry_delay)
+        yield ctx.env.timeout(
+            ctx.config.delivery_retry_delay if delay is None else delay
+        )
         retry = IncomingAlert(
             alert=incoming.alert,
             via=incoming.via,
@@ -293,12 +414,27 @@ class RetryStage(PipelineStage):
         yield ctx.endpoint.alert_inbox.put(retry)
 
 
-def default_stages() -> list[PipelineStage]:
-    """The paper's §4.2 order: classify → aggregate → filter → route → retry."""
+def default_stages(admission: bool = False) -> list[PipelineStage]:
+    """The paper's §4.2 order: classify → aggregate → filter → route → retry.
+
+    With ``admission`` the hardening stages slot in: storm shedding before
+    any per-alert work is paid, token-bucket pacing after filtering (no
+    point spending tokens on alerts a filter would drop anyway).
+    """
+    if not admission:
+        return [
+            ClassifyStage(),
+            AggregateStage(),
+            FilterStage(),
+            RouteStage(),
+            RetryStage(),
+        ]
     return [
+        AdmissionStage(),
         ClassifyStage(),
         AggregateStage(),
         FilterStage(),
+        ThrottleStage(),
         RouteStage(),
         RetryStage(),
     ]
@@ -331,7 +467,16 @@ class AlertPipeline:
         self.log = log
         self.journal = journal
         self.rng = rng
-        self.stages = list(stages) if stages is not None else default_stages()
+        #: Persistent admission controller (traffic hardening), or None.
+        self.admission = _admission_for(config)
+        if self.admission is not None:
+            # Per-channel provider limits live at the submission layer.
+            endpoint.engine.admission = self.admission
+        self.stages = (
+            list(stages)
+            if stages is not None
+            else default_stages(admission=self.admission is not None)
+        )
         #: Invoked whenever an alert's trip completes a routing pass — the
         #: buddy hooks its progress timestamp (watched by the MDC) here.
         self.on_progress = on_progress
@@ -402,18 +547,34 @@ class AlertPipeline:
             if ctx.epoch is not None:
                 span.annotations["epoch"] = ctx.epoch
             ctx.trace_span = span
-        if incoming.retry_users is None and (
-            ctx.alert.alert_id in self.journal.routed_ids
-            or ctx.alert.alert_id in self.journal.retry_pending
-        ):
-            ctx.finish("duplicate_incoming", f"via {incoming.via.value}")
-            if guard is not None:
-                yield from guard.after_trip(ctx)
-            if span is not None:
-                tracer.end(span, ctx.outcome_kind)
-            if self.on_outcome is not None:
-                self.on_outcome(ctx)
-            return ctx
+        if incoming.retry_users is None:
+            duplicate = None
+            if self.admission is not None:
+                # Idempotency first: a copy whose dedup key was marked at
+                # a prior terminal delivery is suppressed in O(1), bounded
+                # memory — the unbounded routed-id set stays as backstop.
+                key = self.admission.dedup_check(
+                    ctx.alert.alert_id,
+                    incoming.via.value,
+                    ctx.alert.created_at,
+                    self.env.now,
+                )
+                if key is not None:
+                    duplicate = ("dedup_suppressed", key)
+            if duplicate is None and (
+                ctx.alert.alert_id in self.journal.routed_ids
+                or ctx.alert.alert_id in self.journal.retry_pending
+            ):
+                duplicate = ("duplicate_incoming", f"via {incoming.via.value}")
+            if duplicate is not None:
+                ctx.finish(*duplicate)
+                if guard is not None:
+                    yield from guard.after_trip(ctx)
+                if span is not None:
+                    tracer.end(span, ctx.outcome_kind)
+                if self.on_outcome is not None:
+                    self.on_outcome(ctx)
+                return ctx
         for stage in self.stages:
             sspan = None
             if span is not None:
@@ -431,6 +592,16 @@ class AlertPipeline:
                 ctx.trace_stage = None
             if ctx.finished:
                 break
+        if self.admission is not None and ctx.outcome_kind in (
+            "routed", "delivery_abandoned", "dead_lettered"
+        ):
+            # Delivery reached a terminal accounted state: mark the dedup
+            # key so later copies (fallback email, recovery replays in a
+            # fresh incarnation) suppress instead of re-routing.  Marking
+            # only *here* keeps crash-interrupted trips replayable.
+            self.admission.dedup_mark(
+                ctx.alert.alert_id, ctx.alert.created_at, self.env.now
+            )
         if guard is not None:
             # Ship queued 'processed' marks *before* the outcome becomes
             # observable: a crash mid-ship leaves the trip unobserved, so

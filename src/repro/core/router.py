@@ -162,6 +162,11 @@ class DeliveryEngine:
         self.acks = AckTable(env)
         #: Every completed delivery, for metrics.
         self.history: list[DeliveryOutcome] = []
+        #: Optional :class:`~repro.core.admission.AdmissionController`
+        #: consulted per submission for per-channel provider limits.  An
+        #: empty bucket records the failure like any other submission
+        #: error, so fallback to the next block *is* the handling.
+        self.admission = None
 
     def execute(
         self,
@@ -263,6 +268,13 @@ class DeliveryEngine:
             if manager is None:
                 outcome.errors[address.friendly_name] = (
                     f"no manager for channel {address.channel.value}"
+                )
+                continue
+            if self.admission is not None and not self.admission.try_submit(
+                self.env.now, address.channel.value
+            ):
+                outcome.errors[address.friendly_name] = (
+                    f"rate_limited: channel {address.channel.value}"
                 )
                 continue
             try:

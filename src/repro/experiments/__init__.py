@@ -18,6 +18,7 @@ the paper-vs-measured table, and assert the qualitative *shape* holds.
 | E9 | :func:`~repro.experiments.fault_tolerance.run_ha_ablation` | each HA technique matters |
 | E10 | :func:`~repro.experiments.chaos.run_chaos_experiment` | randomized chaos search |
 | E11 | :func:`~repro.experiments.failover.run_failover_comparison` | warm-standby failover beats MDC-only |
+| E12 | :func:`~repro.experiments.storm.run_storm_comparison` | admission hardening tames alert storms |
 """
 
 from repro.experiments.ablations import (
@@ -56,6 +57,13 @@ from repro.experiments.latency import (
     run_proxy_routing,
 )
 from repro.experiments.portal_scale import PortalScaleResult, run_portal_log
+from repro.experiments.storm import (
+    StormResult,
+    StormVariant,
+    run_storm_comparison,
+    run_storm_sweep,
+    storm_schedule,
+)
 from repro.experiments.wish_e2e import WishE2EResult, run_wish_location
 
 __all__ = [
@@ -73,6 +81,8 @@ __all__ = [
     "FaultMonthResult",
     "HAFeatures",
     "PortalScaleResult",
+    "StormResult",
+    "StormVariant",
     "StrategyMetrics",
     "WishE2EResult",
     "run_ack_roundtrip",
@@ -86,5 +96,8 @@ __all__ = [
     "run_im_one_way",
     "run_portal_log",
     "run_proxy_routing",
+    "run_storm_comparison",
+    "run_storm_sweep",
     "run_wish_location",
+    "storm_schedule",
 ]

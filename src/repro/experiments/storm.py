@@ -1,0 +1,364 @@
+"""Experiment E12: storm hardening on vs off on identical storm traffic.
+
+The paper's portal carried ~778 k alerts/day for ~225 k users (§1) —
+traffic that arrives in correlated bursts (market open, breaking news),
+not a polite Poisson trickle.  PR 7's admission layer
+(:mod:`repro.core.admission`) exists for exactly that shape, and this
+experiment quantifies what it buys: one deterministic alert storm
+(:class:`~repro.testkit.generator.StormTrafficGenerator` — many sources
+bursting at once, a fraction of arrivals re-submitted as duplicate
+copies) plus one mid-burst IM outage, replayed bit-identically against
+two farms —
+
+- ``permissive`` — admission wired but every knob off
+  (:meth:`~repro.core.admission.AdmissionConfig.permissive`).  The
+  pre-hardening behaviour: every arrival is processed, duplicates are
+  caught only by the in-journal ``routed_ids`` guard.
+- ``hardened`` — :meth:`~repro.core.admission.AdmissionConfig.hardened`:
+  token buckets at three scopes, dedup keys over a bounded LRU, retry
+  budgets with backoff into the dead-letter queue, and storm-mode
+  shedding of routine traffic.
+
+Per variant we measure offered/delivered counts, duplicate copies that
+reached the user's screen (the zero-duplicates-past-dedup claim),
+deadline misses (first receipt later than ``deadline`` after emission),
+the admission counters (shed / coalesced / rate-limited / dead-lettered /
+dedup-suppressed), silently unaccounted alerts, and the delivery-latency
+distribution.  Both runs are oracle-audited, including the PR 7
+admission invariants (rate-limit fairness, every shed journalled, no
+duplicate past dedup).
+
+:func:`run_storm_comparison` returns a :class:`StormResult`;
+:func:`repro.metrics.admission_report.admission_report` renders the
+table the CI ``storm-smoke`` job publishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.admission import AdmissionConfig
+from repro.core.alert import AlertSeverity
+from repro.core.farm import FarmProfile
+from repro.metrics.stats import Summary, summarize
+from repro.sim.clock import MINUTE
+from repro.sim.failures import FaultKind, ScheduledFault
+from repro.testkit.generator import StormConfig, StormTrafficGenerator
+from repro.testkit.harness import EMAIL_FAST, wire_chaos_targets
+from repro.testkit.oracle import (
+    ADMISSION_TERMINAL_KINDS,
+    DEAD_LETTER_KINDS,
+    DeliveryOracle,
+)
+from repro.testkit.parallel import fanout
+from repro.workloads.faultload import TARGET_IM_SERVICE
+from repro.world import SimbaWorld, WorldConfig
+
+#: The two stacks compared, in presentation order.
+VARIANTS = ("permissive", "hardened")
+
+#: The E12 storm shape: a low base trickle punctuated by bursts intense
+#: enough (vs the 3-tenant default farm) to trip the hardened config's
+#: per-tenant storm detector and drain the recipient token buckets.
+E12_STORM = StormConfig(
+    n_sources=4,
+    base_rate=0.02,
+    burst_rate=4.0,
+    n_bursts=2,
+    burst_duration=90.0,
+    duplicate_probability=0.2,
+)
+
+
+@dataclass
+class StormVariant:
+    """One admission config's behaviour under the shared storm."""
+
+    name: str
+    offered: int
+    delivered: int
+    #: Duplicate copies that reached the user's screen — the number the
+    #: dedup layer must hold at zero.
+    user_duplicates: int
+    #: Delivered alerts whose first receipt arrived later than
+    #: ``deadline`` seconds after emission.
+    deadline_misses: int
+    #: Admission counters (hardened variant; all zero when permissive).
+    shed: int
+    coalesced: int
+    rate_limited: int
+    dead_letters: int
+    dedup_suppressed: int
+    #: Offered alerts that neither reached the user nor carry an explicit
+    #: terminal accounting (dead-letter or admission kind) — silent loss.
+    unaccounted: int
+    #: Per-alert delivery latency (emit → first receipt), offered alerts.
+    latency: Summary
+    violations: list[str] = field(default_factory=list)
+
+
+@dataclass
+class StormResult:
+    """Both variants under one (storm, fault schedule) pair."""
+
+    seed: int
+    storm: StormConfig
+    schedule: list[ScheduledFault]
+    deadline: float
+    variants: list[StormVariant] = field(default_factory=list)
+
+    def variant(self, name: str) -> StormVariant:
+        for v in self.variants:
+            if v.name == name:
+                return v
+        raise KeyError(name)
+
+    @property
+    def ok(self) -> bool:
+        """The tentpole claim: under the identical storm the hardened farm
+        lets zero duplicates past dedup, accounts every non-delivered
+        alert as shed / rate-limited / dead-lettered, and stays
+        oracle-green (admission invariants included)."""
+        hardened = self.variant("hardened")
+        return (
+            hardened.user_duplicates == 0
+            and hardened.unaccounted == 0
+            and not hardened.violations
+        )
+
+
+def storm_schedule(
+    seed: int,
+    storm: StormConfig,
+    users: list[str],
+    duration: float,
+    start: float,
+) -> list[ScheduledFault]:
+    """One IM-service outage across the first burst window.
+
+    The outage forces email fallbacks and retry chains right when the
+    burst is draining the token buckets — the compound pressure the
+    retry-budget and shedding paths exist for.  Burst windows are drawn
+    from the same seeded generator the workload uses, so the outage
+    always lands on the real burst.
+    """
+    windows = StormTrafficGenerator(
+        seed, users, storm, duration=duration, start=start
+    ).burst_windows()
+    first = min(windows, key=lambda w: w.start)
+    return [
+        ScheduledFault(
+            at=first.start,
+            kind=FaultKind.IM_SERVICE_OUTAGE,
+            target=TARGET_IM_SERVICE,
+            duration=first.duration + MINUTE,
+        )
+    ]
+
+
+def _run_variant(
+    variant: str,
+    seed: int,
+    storm: StormConfig,
+    schedule: list[ScheduledFault],
+    n_users: int,
+    duration: float,
+    start: float,
+    settle: float,
+    deadline: float,
+) -> StormVariant:
+    admission = (
+        AdmissionConfig.hardened(seed=seed)
+        if variant == "hardened"
+        else AdmissionConfig.permissive(seed=seed)
+    )
+    oracle = DeliveryOracle()
+    world = SimbaWorld(
+        WorldConfig(
+            seed=seed, email_latency=EMAIL_FAST, email_loss=0.0, sms_loss=0.0
+        )
+    )
+    storm_names = [f"storm{i}" for i in range(storm.n_sources)]
+    farm = world.create_farm(
+        shards=4,
+        profile=FarmProfile(
+            categories=("News",), accept_sources=tuple(storm_names)
+        ),
+    )
+    tenants = farm.add_users(n_users)
+    for tenant in tenants:
+        cfg = tenant.deployment.config
+        cfg.pipeline_observer = oracle.observer_for(tenant.name)
+        cfg.admission = admission
+    farm.start_watchdogs(check_interval=60.0)
+    sources = [world.create_source(name) for name in storm_names]
+    for source in sources:
+        farm.register_with(source)
+
+    events = StormTrafficGenerator(
+        seed, [t.name for t in tenants], storm,
+        duration=duration, start=start,
+    ).generate()
+    books = {t.name: t.book for t in tenants}
+    offered: dict[str, set[str]] = {t.name: set() for t in tenants}
+    emitted_at: dict[str, float] = {}
+
+    def workload(env):
+        last: dict[str, tuple] = {}
+        index = 0
+        for event in events:
+            if event.at > env.now:
+                yield env.timeout(event.at - env.now)
+            src = sources[event.source]
+            if event.duplicate and event.user in last:
+                prev_src, prev_alert = last[event.user]
+                env.process(
+                    prev_src.deliver(prev_alert, books[event.user]),
+                    name=f"{prev_src.name}-redeliver-{prev_alert.alert_id}",
+                )
+                continue
+            alert, _ = src.emit_to(
+                books[event.user],
+                "News",
+                f"e12-{index}-{event.user}",
+                "body",
+                severity=AlertSeverity(event.severity),
+            )
+            offered[event.user].add(alert.alert_id)
+            emitted_at[alert.alert_id] = env.now
+            last[event.user] = (src, alert)
+            index += 1
+
+    world.env.process(workload(world.env), name="e12-workload")
+    injector = wire_chaos_targets(world, farm, operator_response=5 * MINUTE)
+    injector.load(schedule)
+    horizon = max(
+        [start + duration] + [f.at + f.duration for f in schedule]
+    ) + settle
+    world.run(until=horizon)
+
+    report = oracle.check(
+        farm, offered=offered, source_endpoints=[s.endpoint for s in sources]
+    )
+    by_user = oracle.outcomes_by_user()
+    accounted_kinds = DEAD_LETTER_KINDS | ADMISSION_TERMINAL_KINDS
+    delivered = 0
+    user_duplicates = 0
+    deadline_misses = 0
+    unaccounted = 0
+    latencies: list[float] = []
+    for tenant in tenants:
+        received = tenant.user.unique_alerts_received()
+        first_receipt: dict[str, float] = {}
+        for receipt in tenant.user.receipts:
+            if receipt.alert_id in offered[tenant.name]:
+                if receipt.duplicate:
+                    user_duplicates += 1
+                else:
+                    first_receipt.setdefault(receipt.alert_id, receipt.at)
+        per_alert = by_user.get(tenant.name, {})
+        # Emission order, not set order — alert-id hashes depend on the
+        # process-global counter, and the latency summary must come out
+        # bit-identical between sequential and forked-worker runs.
+        for alert_id in sorted(
+            offered[tenant.name], key=emitted_at.__getitem__
+        ):
+            trips = per_alert.get(alert_id, [])
+            if alert_id in received:
+                delivered += 1
+                latency = first_receipt[alert_id] - emitted_at[alert_id]
+                latencies.append(latency)
+                if latency > deadline:
+                    deadline_misses += 1
+            elif not any(t.kind in accounted_kinds for t in trips):
+                unaccounted += 1
+    rollup = farm.admission_summary() or {}
+    return StormVariant(
+        name=variant,
+        offered=sum(len(ids) for ids in offered.values()),
+        delivered=delivered,
+        user_duplicates=user_duplicates,
+        deadline_misses=deadline_misses,
+        shed=rollup.get("shed", 0),
+        coalesced=rollup.get("coalesced", 0),
+        rate_limited=rollup.get("rate_limited", 0),
+        dead_letters=rollup.get("dead_letters", 0),
+        dedup_suppressed=rollup.get("dedup_suppressed", 0),
+        unaccounted=unaccounted,
+        latency=summarize(latencies),
+        violations=[str(v) for v in report.violations],
+    )
+
+
+def _variant_worker(spec: dict) -> StormVariant:
+    """Picklable wrapper so variant runs can cross a process boundary."""
+    return _run_variant(**spec)
+
+
+def run_storm_comparison(
+    seed: int = 0,
+    n_users: int = 3,
+    storm: Optional[StormConfig] = None,
+    duration: float = 30 * MINUTE,
+    start: float = 5 * MINUTE,
+    settle: float = 30 * MINUTE,
+    deadline: float = 5 * MINUTE,
+    schedule: Optional[list[ScheduledFault]] = None,
+    variants: tuple = VARIANTS,
+    jobs: Optional[int] = None,
+) -> StormResult:
+    """Replay one storm against each admission config in ``variants``.
+
+    Traffic is identical by construction: both variants regenerate the
+    same event list from the same ``(seed, storm)`` pair.  Each variant
+    is an independent world, so ``jobs > 1`` runs them in parallel
+    worker processes; results come back in ``variants`` order either way
+    (None → ``REPRO_SWEEP_JOBS`` default).
+    """
+    if storm is None:
+        storm = E12_STORM
+    users = [f"user{i}" for i in range(n_users)]
+    if schedule is None:
+        schedule = storm_schedule(seed, storm, users, duration, start)
+    specs = [
+        dict(
+            variant=variant,
+            seed=seed,
+            storm=storm,
+            schedule=schedule,
+            n_users=n_users,
+            duration=duration,
+            start=start,
+            settle=settle,
+            deadline=deadline,
+        )
+        for variant in variants
+    ]
+    return StormResult(
+        seed=seed,
+        storm=storm,
+        schedule=list(schedule),
+        deadline=deadline,
+        variants=fanout(_variant_worker, specs, jobs=jobs),
+    )
+
+
+def _seed_worker(spec: dict) -> StormResult:
+    """Picklable per-seed worker for :func:`run_storm_sweep`."""
+    return run_storm_comparison(**spec)
+
+
+def run_storm_sweep(
+    seeds: Iterable[int],
+    jobs: Optional[int] = None,
+    **kwargs,
+) -> list[StormResult]:
+    """The E12 acceptance sweep: one comparison per seed, merged in seed
+    order — byte-identical between sequential and pooled execution.
+
+    Per-seed comparisons run their variants sequentially (``jobs=1``) so
+    the pool is saturated by seeds, not oversubscribed.
+    """
+    specs = [dict(kwargs, seed=seed, jobs=1) for seed in seeds]
+    return fanout(_seed_worker, specs, jobs=jobs)

@@ -1,5 +1,6 @@
 """Measurement helpers: latency summaries, collectors, report tables."""
 
+from repro.metrics.admission_report import admission_report
 from repro.metrics.collector import LatencyCollector
 from repro.metrics.failover_report import failover_report
 from repro.metrics.invariant_report import invariant_report, sweep_report
@@ -13,6 +14,7 @@ __all__ = [
     "LatencyCollector",
     "Summary",
     "TraceEvent",
+    "admission_report",
     "failover_report",
     "format_table",
     "invariant_report",

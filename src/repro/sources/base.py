@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.addresses import AddressBook
+from repro.core.admission import AdmissionConfig, build_controller
 from repro.core.alert import Alert, AlertSeverity
 from repro.core.delivery_modes import DeliveryMode, im_ack_then_email
 from repro.core.endpoint import SimbaEndpoint
@@ -43,6 +44,7 @@ class AlertSource:
         name: str,
         endpoint: SimbaEndpoint,
         mode: Optional[DeliveryMode] = None,
+        admission: Optional[AdmissionConfig] = None,
     ):
         self.env = env
         self.name = name
@@ -50,6 +52,12 @@ class AlertSource:
         self.pipeline = SourceDeliveryPipeline(
             env, endpoint, mode if mode is not None else im_ack_then_email()
         )
+        #: Source-side traffic hardening: per-channel token buckets applied
+        #: at the submission layer of this source's delivery engine (a
+        #: bursty producer is throttled at *its* provider, not the MAB's).
+        self.admission = build_controller(admission, name)
+        if self.admission is not None:
+            endpoint.engine.admission = self.admission
         self.targets: list[AddressBook] = []
         #: Owner name → book, for O(1) per-recipient emission at farm scale.
         self.targets_by_owner: dict[str, AddressBook] = {}

@@ -34,9 +34,16 @@ from repro.testkit.bugs import (
     drop_retry_stages,
     silent_drop_stages,
 )
-from repro.testkit.generator import ChaosIntensity, FaultScheduleGenerator
+from repro.testkit.generator import (
+    ChaosIntensity,
+    FaultScheduleGenerator,
+    StormConfig,
+    StormEvent,
+    StormTrafficGenerator,
+)
 from repro.testkit.harness import ChaosReport, ChaosRunConfig, run_chaos
 from repro.testkit.oracle import (
+    ADMISSION_TERMINAL_KINDS,
     DeliveryOracle,
     EquivalenceReport,
     OracleReport,
@@ -58,6 +65,7 @@ from repro.testkit.sweep import ChaosSweepResult, ChaosTrial, chaos_sweep
 from repro.testkit.trace_oracle import check_trace
 
 __all__ = [
+    "ADMISSION_TERMINAL_KINDS",
     "AbandonAmnesiaRetryStage",
     "ChaosIntensity",
     "ChaosReport",
@@ -71,6 +79,9 @@ __all__ = [
     "Reproducer",
     "ShrinkResult",
     "SilentDropRetryStage",
+    "StormConfig",
+    "StormEvent",
+    "StormTrafficGenerator",
     "Violation",
     "chaos_sweep",
     "check_farm_equivalence",

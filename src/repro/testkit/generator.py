@@ -23,13 +23,14 @@ schedules pinnable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.sim.clock import HOUR, MINUTE
 from repro.sim.failures import FaultKind, ScheduledFault
+from repro.workloads.arrivals import BurstWindow, storm_arrival_times
 from repro.workloads.faultload import (
     KNOWN_DIALOG_CAPTIONS,
     TARGET_EMAIL_SERVICE,
@@ -345,3 +346,146 @@ class FaultScheduleGenerator:
         if not schedule:
             return self.start
         return max(f.at + f.duration for f in schedule)
+
+
+# ----------------------------------------------------------------------
+# Alert-storm traffic (burst arrivals from many sources at once)
+# ----------------------------------------------------------------------
+
+#: Seed-sequence spice for the storm traffic stream, so storm traffic and
+#: fault schedules generated from the same run seed stay independent.
+_STORM_STREAM = 0x73746F72  # "stor"
+
+
+@dataclass(frozen=True)
+class StormConfig:
+    """Alert-storm traffic shape (JSON-serializable, reproducer-pinnable).
+
+    Unlike the steady round-robin chaos workload, a storm run drives the
+    farm from ``n_sources`` independent sources whose arrivals spike in
+    shared burst windows — many sources at once, which is what overloads
+    a per-recipient pipeline — and re-submits a fraction of alerts as
+    duplicate copies (the upstream at-least-once behaviour dedup keys
+    exist for).
+    """
+
+    n_sources: int = 4
+    #: Farm-wide base arrival rate (alerts/second) outside bursts.
+    base_rate: float = 0.02
+    #: *Additional* farm-wide rate inside each burst window.
+    burst_rate: float = 0.8
+    n_bursts: int = 3
+    burst_duration: float = 60.0
+    #: Probability an arrival re-submits the recipient's previous alert
+    #: (a duplicate copy from the same source) instead of a fresh one.
+    duplicate_probability: float = 0.15
+    #: Severity mix (the remainder is routine — the only shed-eligible
+    #: class under the default admission config).
+    important_probability: float = 0.15
+    critical_probability: float = 0.05
+
+    def __post_init__(self):
+        if self.n_sources < 1:
+            raise ConfigurationError(
+                f"n_sources must be >= 1, got {self.n_sources}"
+            )
+        for name in ("duplicate_probability", "important_probability",
+                     "critical_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {value!r}"
+                )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StormConfig":
+        """Rebuild from a JSON dict (reproducer replay); unknown keys are
+        dropped so old pins survive new fields."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass(frozen=True)
+class StormEvent:
+    """One storm arrival: which source hits which user, and how."""
+
+    at: float
+    source: int
+    user: str
+    severity: str
+    #: Re-submit the user's previous alert from its original source
+    #: instead of emitting a fresh one.
+    duplicate: bool
+
+
+class StormTrafficGenerator:
+    """Sample a deterministic alert-storm event list for a fixed user set.
+
+    Everything is drawn from one ``numpy`` generator seeded from
+    ``(seed, storm-stream)``, so a (seed, config) pair always yields the
+    identical traffic — and never perturbs the fault-schedule stream
+    seeded from the bare run seed.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        users: list[str],
+        config: StormConfig | None = None,
+        duration: float = 2 * HOUR,
+        start: float = 5 * MINUTE,
+    ):
+        if not users:
+            raise ConfigurationError("at least one user is required")
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration}")
+        self.seed = int(seed)
+        self.users = list(users)
+        self.config = config if config is not None else StormConfig()
+        self.duration = float(duration)
+        self.start = float(start)
+        self.rng = np.random.default_rng([self.seed, _STORM_STREAM])
+
+    def burst_windows(self) -> list[BurstWindow]:
+        """The shared burst windows every source's arrivals spike inside."""
+        config = self.config
+        latest = max(self.start, self.start + self.duration
+                     - config.burst_duration)
+        return [
+            BurstWindow(
+                start=float(self.rng.uniform(self.start, latest)),
+                duration=config.burst_duration,
+                rate=config.burst_rate,
+            )
+            for _ in range(config.n_bursts)
+        ]
+
+    def generate(self) -> list[StormEvent]:
+        """One full storm: burst-shaped arrivals fanned over the sources."""
+        config = self.config
+        bursts = self.burst_windows()
+        times = storm_arrival_times(
+            self.rng, config.base_rate, self.duration, bursts, self.start
+        )
+        events = []
+        for at in times:
+            severity = "routine"
+            roll = float(self.rng.random())
+            if roll < config.critical_probability:
+                severity = "critical"
+            elif roll < config.critical_probability + config.important_probability:
+                severity = "important"
+            events.append(
+                StormEvent(
+                    at=float(at),
+                    source=int(self.rng.integers(0, config.n_sources)),
+                    user=self.users[
+                        int(self.rng.integers(0, len(self.users)))
+                    ],
+                    severity=severity,
+                    duplicate=bool(
+                        self.rng.random() < config.duplicate_probability
+                    ),
+                )
+            )
+        return events

@@ -22,10 +22,13 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.core.admission import AdmissionConfig
+from repro.core.alert import AlertSeverity
 from repro.core.farm import FarmProfile
 from repro.net.channel import LatencyModel
 from repro.sim.clock import HOUR, MINUTE
 from repro.sim.failures import FaultInjector, FaultKind, ScheduledFault
+from repro.testkit.generator import StormConfig, StormTrafficGenerator
 from repro.testkit.oracle import DeliveryOracle, OracleReport
 from repro.workloads.faultload import (
     TARGET_EMAIL_SERVICE,
@@ -76,6 +79,12 @@ class ChaosRunConfig:
     heartbeat_interval: float = 5.0
     lease_timeout: float = 20.0
     lease_check_interval: float = 2.0
+    #: Traffic hardening applied to every tenant (None = legacy path;
+    #: :meth:`AdmissionConfig.permissive` = hardening wired but all off).
+    admission: Optional[AdmissionConfig] = None
+    #: Replace the steady round-robin workload with an alert storm
+    #: (burst arrivals from many sources, duplicate submissions).
+    storm: Optional[StormConfig] = None
 
 
 @dataclass
@@ -95,6 +104,9 @@ class ChaosReport:
     horizon: float = 0.0
     #: Replication mode only: per-tenant failover promotion counts.
     promotions: dict[str, int] = field(default_factory=dict)
+    #: Hardened runs only: the farm's summed admission counters
+    #: (:meth:`~repro.core.farm.BuddyFarm.admission_summary`).
+    admission: Optional[dict] = None
     #: The run's :class:`repro.obs.TraceSink` when ``run_chaos(trace=True)``
     #: — excluded from :meth:`fingerprint` (tracing is pure observation;
     #: traced and untraced runs must fingerprint identically).
@@ -125,6 +137,9 @@ class ChaosReport:
             # Only stamped in replication mode, so pre-replication
             # fingerprints (pinned reproducers) are unchanged.
             payload["promotions"] = sorted(self.promotions.items())
+        if self.admission is not None:
+            # Same pattern: only hardened runs carry the rollup.
+            payload["admission"] = sorted(self.admission.items())
         canonical = json.dumps(payload, sort_keys=True, default=repr)
         return hashlib.sha256(canonical.encode()).hexdigest()
 
@@ -318,9 +333,17 @@ def run_chaos(
         from repro.obs import TraceSink
 
         sink = TraceSink().install(world.env)
+    storm_names = (
+        [f"storm{i}" for i in range(config.storm.n_sources)]
+        if config.storm is not None
+        else []
+    )
     farm = world.create_farm(
         shards=4,
-        profile=FarmProfile(categories=("News",), accept_sources=("portal",)),
+        profile=FarmProfile(
+            categories=("News",),
+            accept_sources=("portal", *storm_names),
+        ),
     )
     tenants = farm.add_users(config.n_users)
     for tenant in tenants:
@@ -328,6 +351,7 @@ def run_chaos(
         cfg.pipeline_observer = oracle.observer_for(tenant.name)
         cfg.delivery_retry_delay = config.delivery_retry_delay
         cfg.delivery_max_attempts = config.delivery_max_attempts
+        cfg.admission = config.admission
         if stage_factory is not None:
             cfg.stage_factory = stage_factory
     if config.replication:
@@ -340,6 +364,9 @@ def run_chaos(
 
     source = world.create_source("portal")
     farm.register_with(source)
+    storm_sources = [world.create_source(name) for name in storm_names]
+    for storm_source in storm_sources:
+        farm.register_with(storm_source)
 
     fault_window_end = max(
         [config.start + config.duration]
@@ -359,7 +386,46 @@ def run_chaos(
             index += 1
             yield env.timeout(config.alert_period)
 
-    world.env.process(workload(world.env), name="chaos-workload")
+    def storm_workload(env):
+        events = StormTrafficGenerator(
+            config.seed,
+            [t.name for t in tenants],
+            config.storm,
+            duration=config.duration,
+            start=config.start,
+        ).generate()
+        books = {t.name: t.book for t in tenants}
+        # Per-user memory of the last fresh emission, so a ``duplicate``
+        # event re-submits the *same* alert object from the same source —
+        # the upstream at-least-once copy dedup keys must suppress.
+        last: dict[str, tuple] = {}
+        index = 0
+        for event in events:
+            if event.at > env.now:
+                yield env.timeout(event.at - env.now)
+            src = storm_sources[event.source]
+            if event.duplicate and event.user in last:
+                prev_src, prev_alert = last[event.user]
+                env.process(
+                    prev_src.deliver(prev_alert, books[event.user]),
+                    name=f"{prev_src.name}-redeliver-{prev_alert.alert_id}",
+                )
+                continue
+            alert, _ = src.emit_to(
+                books[event.user],
+                "News",
+                f"storm-{index}-{event.user}",
+                "body",
+                severity=AlertSeverity(event.severity),
+            )
+            offered[event.user].add(alert.alert_id)
+            last[event.user] = (src, alert)
+            index += 1
+
+    if config.storm is not None:
+        world.env.process(storm_workload(world.env), name="storm-workload")
+    else:
+        world.env.process(workload(world.env), name="chaos-workload")
 
     injector = wire_chaos_targets(world, farm, config.operator_response)
     injector.load(schedule)
@@ -369,7 +435,8 @@ def run_chaos(
     report = oracle.check(
         farm,
         offered=offered,
-        source_endpoints=[source.endpoint],
+        source_endpoints=[source.endpoint]
+        + [s.endpoint for s in storm_sources],
         trace_sink=sink,
     )
     outcome_counts: dict[str, int] = {}
@@ -396,5 +463,6 @@ def run_chaos(
             for t in tenants
             if t.pair is not None
         },
+        admission=farm.admission_summary(),
         trace=sink,
     )

@@ -73,6 +73,16 @@ DEAD_LETTER_KINDS = frozenset(
     {"rejected", "unmapped", "filtered", "no_subscribers", "delivery_abandoned"}
 )
 
+#: Admission-control terminal kinds (:mod:`repro.core.admission`): the
+#: hardening layer decided, on the record, not to deliver this copy —
+#: shed/coalesced under storm, rate-limited past the throttle ceiling,
+#: suppressed as a duplicate past its dedup key, or parked in the
+#: dead-letter queue after the retry budget.  All count as "accounted
+#: for" in delivered-or-dead-letter; none may ever be silent.
+ADMISSION_TERMINAL_KINDS = frozenset(
+    {"shed", "coalesced", "rate_limited", "dedup_suppressed", "dead_lettered"}
+)
+
 
 @dataclass
 class ObservedOutcome:
@@ -200,6 +210,10 @@ class DeliveryOracle:
         pairs_checked = 0
         promotions = 0
         forwarded = 0
+        admission_tenants = 0
+        admission_sheds = 0
+        admission_suppressed = 0
+        admission_dead_letters = 0
 
         for tenant in farm:
             name = tenant.name
@@ -219,6 +233,17 @@ class DeliveryOracle:
             per_alert = by_user.get(name, {})
             alerts_checked += len(per_alert)
             user_duplicates += tenant.user.duplicates_discarded()
+
+            controller = tenant.deployment.config.admission_controller()
+            if controller is not None:
+                admission_tenants += 1
+                admission_sheds += sum(controller.shed_counts.values())
+                admission_dead_letters += len(controller.dead_letters)
+                if controller.dedup is not None:
+                    admission_suppressed += controller.dedup.suppressed_total
+                self._check_admission(
+                    report, controller, name, per_alert, audited
+                )
 
             for alert_id, trips in per_alert.items():
                 kinds = [t.kind for t in trips]
@@ -252,10 +277,13 @@ class DeliveryOracle:
                         self._check_cross_epoch_routes(
                             report, pair, name, alert_id, routed
                         )
-                # delivered-or-dead-letter.
+                # delivered-or-dead-letter (admission outcomes account too).
                 if alert_id in delivered:
                     continue
-                if any(k in DEAD_LETTER_KINDS for k in kinds):
+                if any(
+                    k in DEAD_LETTER_KINDS or k in ADMISSION_TERMINAL_KINDS
+                    for k in kinds
+                ):
                     continue
                 report.violations.append(
                     Violation(
@@ -325,7 +353,10 @@ class DeliveryOracle:
                     if entry.alert_id in routed_ids:
                         continue  # replay hits the duplicate-incoming guard
                     kinds = [t.kind for t in per_alert.get(entry.alert_id, [])]
-                    if any(k in DEAD_LETTER_KINDS for k in kinds):
+                    if any(
+                        k in DEAD_LETTER_KINDS or k in ADMISSION_TERMINAL_KINDS
+                        for k in kinds
+                    ):
                         continue  # replay would deterministically dead-letter
                     report.violations.append(
                         Violation(
@@ -360,6 +391,11 @@ class DeliveryOracle:
         report.info["late_acks"] = late_acks
         report.info["unsolicited_acks"] = unsolicited_acks
         report.info["user_duplicates_discarded"] = user_duplicates
+        if admission_tenants:
+            report.checked["admission_tenants"] = admission_tenants
+            report.info["admission_sheds"] = admission_sheds
+            report.info["admission_suppressed"] = admission_suppressed
+            report.info["admission_dead_letters"] = admission_dead_letters
 
         if trace_sink is not None:
             from repro.testkit.trace_oracle import check_trace
@@ -368,6 +404,105 @@ class DeliveryOracle:
             report.checked.update(trace_checked)
             report.trace_violations.extend(trace_violations)
         return report
+
+    # ------------------------------------------------------------------
+    # Admission invariants (traffic hardening)
+    # ------------------------------------------------------------------
+
+    #: Fairness audit cap: buckets log up to 64k grants; auditing the most
+    #: recent window this size keeps the check O(n²) only at test scale.
+    _FAIRNESS_AUDIT_CAP = 2000
+
+    def _check_admission(
+        self, report: OracleReport, controller, user: str, per_alert, audited
+    ) -> None:
+        """Audit one hardened tenant's admission layer.
+
+        - **every-shed-is-journalled** — each drop the controller decided
+          (shed / coalesced / rate-limited) has exactly one matching
+          journal outcome; a count mismatch means a silent drop (or a
+          journal entry nobody decided).  Dedup suppressions are held to
+          the same standard.
+        - **no-duplicate-past-dedup** — every suppression matched a key a
+          real prior delivery marked, and no alert with a suppressed copy
+          was terminally routed more than once.
+        - **rate-limit-fairness** — for every token bucket, the grants
+          inside *any* time interval ``W`` never exceed
+          ``burst + rate × W``; audited pairwise over the grant log.
+        """
+        journal_counts: dict[str, int] = {}
+        for kind in ("shed", "coalesced", "rate_limited", "dedup_suppressed"):
+            journal_counts[kind] = sum(
+                deployment.journal.count(kind) for _, deployment in audited
+            )
+        for kind in ("shed", "coalesced", "rate_limited"):
+            decided = controller.shed_counts.get(kind, 0)
+            if decided != journal_counts[kind]:
+                report.violations.append(
+                    Violation(
+                        "every_shed_is_journalled",
+                        f"controller decided {decided} '{kind}' drop(s) but "
+                        f"the journal records {journal_counts[kind]}",
+                        user=user,
+                    )
+                )
+        dedup = controller.dedup
+        if dedup is not None:
+            if dedup.suppressed_total != journal_counts["dedup_suppressed"]:
+                report.violations.append(
+                    Violation(
+                        "every_shed_is_journalled",
+                        f"{dedup.suppressed_total} dedup suppression(s) but "
+                        f"the journal records "
+                        f"{journal_counts['dedup_suppressed']}",
+                        user=user,
+                    )
+                )
+            for key, at in dedup.suppressed:
+                if key not in dedup.ever_marked:
+                    report.violations.append(
+                        Violation(
+                            "no_duplicate_past_dedup",
+                            f"suppressed key {key!r} at t={at:.1f} was "
+                            "never marked by a terminal delivery",
+                            user=user,
+                        )
+                    )
+            for alert_id, trips in per_alert.items():
+                kinds = [t.kind for t in trips]
+                if "dedup_suppressed" in kinds and kinds.count("routed") > 1:
+                    report.violations.append(
+                        Violation(
+                            "no_duplicate_past_dedup",
+                            f"alert was routed {kinds.count('routed')} times "
+                            "despite a dedup suppression",
+                            user=user,
+                            alert_id=alert_id,
+                        )
+                    )
+        for bucket in controller.all_buckets():
+            grants = list(bucket.grants)[-self._FAIRNESS_AUDIT_CAP:]
+            report.checked["buckets"] = report.checked.get("buckets", 0) + 1
+            violated = False
+            for i in range(len(grants)):
+                for j in range(i + 1, len(grants)):
+                    allowed = bucket.burst + bucket.rate * (
+                        grants[j] - grants[i]
+                    )
+                    if (j - i + 1) > allowed + 1e-9:
+                        report.violations.append(
+                            Violation(
+                                "rate_limit_fairness",
+                                f"bucket {bucket.name!r} granted {j - i + 1} "
+                                f"tokens in {grants[j] - grants[i]:.2f}s "
+                                f"(allowed {allowed:.2f})",
+                                user=user,
+                            )
+                        )
+                        violated = True
+                        break
+                if violated:
+                    break
 
     # ------------------------------------------------------------------
     # Replication invariants

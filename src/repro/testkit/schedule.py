@@ -143,13 +143,19 @@ def replay_reproducer(
     :class:`repro.obs.TraceSink` installed (``report.trace``) — same run,
     same fingerprint, plus the causal span record.
     """
+    from repro.core.admission import AdmissionConfig
+    from repro.testkit.generator import StormConfig
     from repro.testkit.harness import ChaosRunConfig, run_chaos
 
     reproducer = load_reproducer(path)
     known = {f.name for f in ChaosRunConfig.__dataclass_fields__.values()}
-    config = ChaosRunConfig(
-        **{k: v for k, v in reproducer.config.items() if k in known}
-    )
+    kwargs = {k: v for k, v in reproducer.config.items() if k in known}
+    # Nested hardening configs land as plain dicts in the JSON pin.
+    if isinstance(kwargs.get("admission"), dict):
+        kwargs["admission"] = AdmissionConfig.from_dict(kwargs["admission"])
+    if isinstance(kwargs.get("storm"), dict):
+        kwargs["storm"] = StormConfig.from_dict(kwargs["storm"])
+    config = ChaosRunConfig(**kwargs)
     return run_chaos(
         reproducer.schedule,
         config,

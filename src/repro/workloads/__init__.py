@@ -7,7 +7,12 @@
   the category mix of the paper's §5 recovery log.
 """
 
-from repro.workloads.arrivals import DiurnalProfile, poisson_arrival_times
+from repro.workloads.arrivals import (
+    BurstWindow,
+    DiurnalProfile,
+    poisson_arrival_times,
+    storm_arrival_times,
+)
 from repro.workloads.faultload import (
     FaultloadSpec,
     generate_month_faultload,
@@ -16,6 +21,7 @@ from repro.workloads.faultload import (
 from repro.workloads.portal_log import LogRecord, PortalLogGenerator
 
 __all__ = [
+    "BurstWindow",
     "DiurnalProfile",
     "FaultloadSpec",
     "LogRecord",
@@ -23,4 +29,5 @@ __all__ = [
     "generate_month_faultload",
     "paper_faultload_spec",
     "poisson_arrival_times",
+    "storm_arrival_times",
 ]

@@ -54,6 +54,54 @@ class DiurnalProfile:
         return max(self.multipliers)
 
 
+@dataclass(frozen=True)
+class BurstWindow:
+    """One storm burst: an elevated-rate interval inside the run window."""
+
+    start: float
+    duration: float
+    rate: float
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"burst duration must be > 0, got {self.duration!r}"
+            )
+        if self.rate < 0:
+            raise ConfigurationError(
+                f"burst rate must be >= 0, got {self.rate!r}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+def storm_arrival_times(
+    rng: np.random.Generator,
+    base_rate: float,
+    duration: float,
+    bursts: "list[BurstWindow] | tuple[BurstWindow, ...]" = (),
+    start: float = 0.0,
+) -> list[float]:
+    """Alert-storm arrivals: a base Poisson stream plus burst windows.
+
+    Each :class:`BurstWindow` superimposes an *additional* Poisson stream
+    at ``burst.rate`` over its interval — the superposition of independent
+    Poisson processes is itself Poisson, so inside a burst the effective
+    rate is ``base_rate + burst.rate``.  This is the many-sources-at-once
+    shape admission control exists for: long polite stretches punctuated
+    by bursts one or two orders of magnitude over baseline.
+    """
+    times = list(poisson_arrival_times(rng, base_rate, duration, start))
+    for burst in bursts:
+        times.extend(
+            poisson_arrival_times(rng, burst.rate, burst.duration, burst.start)
+        )
+    times.sort()
+    return times
+
+
 def poisson_arrival_times(
     rng: np.random.Generator,
     rate: float,

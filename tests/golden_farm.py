@@ -24,13 +24,19 @@ N_USERS = 20
 SEED = 2027
 
 
-def run_golden_farm(tracer=None):
+def run_golden_farm(tracer=None, admission=None):
     """Build and run the scenario; returns the farm (world has quiesced).
 
     ``tracer`` (a :class:`repro.obs.TraceSink`) is installed on the world's
     environment before anything runs — the trace-golden test uses it, and
     the journal golden must not change whether or not it is passed (tracing
     is pure observation).
+
+    ``admission`` (an :class:`repro.core.admission.AdmissionConfig`) is
+    applied to every tenant.  The permissive-config regression test passes
+    :meth:`~repro.core.admission.AdmissionConfig.permissive` and asserts
+    the journals stay byte-identical to the golden — hardening wired but
+    switched off must be a perfect no-op.
     """
     from repro.core.farm import FarmProfile
     from repro.world import SimbaWorld, WorldConfig
@@ -43,6 +49,9 @@ def run_golden_farm(tracer=None):
         profile=FarmProfile(categories=("News",), accept_sources=("portal",)),
     )
     tenants = farm.add_users(N_USERS)
+    if admission is not None:
+        for tenant in tenants:
+            tenant.deployment.config.admission = admission
     source = world.create_source("portal")
     farm.register_with(source)
     rogue = world.create_source("rogue")

@@ -36,7 +36,7 @@ def test_unknown_experiment_errors():
 
 
 def test_experiment_registry_complete():
-    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 12)}
+    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 13)}
 
 
 def test_jobs_rejected_for_non_sweep_experiment():
@@ -48,4 +48,4 @@ def test_jobs_rejected_for_non_sweep_experiment():
 def test_jobs_accepted_for_sweep_experiments():
     from repro.__main__ import PARALLEL_EXPERIMENTS
 
-    assert PARALLEL_EXPERIMENTS == {"e10", "e11"}
+    assert PARALLEL_EXPERIMENTS == {"e10", "e11", "e12"}
