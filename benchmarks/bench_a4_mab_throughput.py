@@ -98,6 +98,57 @@ def test_a4_mab_throughput_saturation(benchmark):
     )
 
 
+def test_a4_rollup_is_single_pass_over_events():
+    """Micro-assert: the farm rollup touches each receipt list exactly once.
+
+    ``delivery_summary`` / ``iter_receipts`` are the A4 hot path — at farm
+    scale the receipt population dominates memory, so the rollup must
+    stream it (one pass, no intermediate Receipt list).  Counting
+    iterations over instrumented receipt lists pins O(events) behaviour
+    structurally instead of with a flaky timing threshold.
+    """
+    from repro.core.farm import FarmProfile
+    from repro.core.user_endpoint import Receipt
+    from repro.net.message import ChannelType
+
+    class CountingList(list):
+        def __init__(self, items):
+            super().__init__(items)
+            self.iterations = 0
+
+        def __iter__(self):
+            self.iterations += 1
+            return super().__iter__()
+
+    world = SimbaWorld(WorldConfig(seed=0))
+    farm = world.create_farm(profile=FarmProfile())
+    tenants = farm.add_users(5)
+    for index, tenant in enumerate(tenants):
+        tenant.user.receipts = CountingList(
+            Receipt(
+                alert_id=f"a{index}-{j}",
+                channel=ChannelType.IM,
+                at=float(10 + j),
+                created_at=float(j),
+                duplicate=(j % 3 == 0),
+            )
+            for j in range(20)
+        )
+
+    summary = farm.delivery_summary()
+    for tenant in tenants:
+        assert tenant.user.receipts.iterations == 1, (
+            f"{tenant.name}: rollup iterated its receipts "
+            f"{tenant.user.receipts.iterations} times (want exactly 1)"
+        )
+    # The streamed rollup computes the same numbers the list path did.
+    unique = [r for t in tenants for r in t.user.receipts if not r.duplicate]
+    assert summary["received"] == len(unique) == 5 * 13
+    assert summary["latency"].mean == 10.0
+    # And the list view is built from the same single-pass generator.
+    assert farm.receipts(unique=True) == unique
+
+
 def test_a4_farm_throughput_scales_linearly(benchmark):
     points = benchmark.pedantic(
         run_farm_throughput_sweep, rounds=1, iterations=1

@@ -183,6 +183,21 @@ def _e12(seed: int, jobs: int | None = None) -> str:
     return admission_report(result)
 
 
+def _e13(seed: int, shards: int | None = None, users: int = 100_000) -> str:
+    from repro.experiments import run_sharded_comparison
+    from repro.metrics import shard_report
+
+    if shards is None:
+        shard_counts: tuple[int, ...] = (1, 2, 4)
+    elif shards <= 1:
+        shard_counts = (1,)
+    else:
+        shard_counts = (1, shards)
+    result = run_sharded_comparison(shard_counts=shard_counts, users=users,
+                                    seed=seed)
+    return shard_report(result)
+
+
 def _score_trace(spans) -> tuple:
     """Interest score for --alert auto: prefer the trace that exercised the
     most machinery (failover handoffs, then fallback blocks, then sheer
@@ -274,6 +289,7 @@ EXPERIMENTS = {
     "e10": ("chaos sweep (oracle-checked)", _e10),
     "e11": ("warm-standby failover vs MDC-only", _e11),
     "e12": ("storm hardening: admission on vs off", _e12),
+    "e13": ("sharded farm-of-farms beyond one core", _e13),
 }
 
 #: Experiments whose sweeps accept a worker-pool size (``--jobs``).
@@ -292,7 +308,7 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trace_command(argv[1:])
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e12), 'all' (e1-e8), 'list', or 'trace' "
+        help="experiment id (e1..e13), 'all' (e1-e8), 'list', or 'trace' "
         "(span-tree forensics; see python -m repro trace --help)",
     )
     parser.add_argument("--seed", type=int, default=0)
@@ -300,6 +316,15 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=None,
         help="worker processes for sweep experiments (e10/e11/e12); results are "
         "identical to --jobs 1, just faster",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="e13: compare shards=1 against this worker-process count "
+        "(default: sweep 1/2/4)",
+    )
+    parser.add_argument(
+        "--users", type=int, default=100_000,
+        help="e13: logical user population (default 100,000)",
     )
     args = parser.parse_args(argv)
 
@@ -324,8 +349,19 @@ def main(argv: list[str] | None = None) -> int:
             f"unknown experiment {args.experiment!r} "
             f"(choose from {', '.join(EXPERIMENTS)}, all, list)"
         )
+    if key != "e13" and (args.shards is not None or args.users != 100_000):
+        parser.error("--shards/--users only apply to e13")
     if key in PARALLEL_EXPERIMENTS:
-        print(entry[1](args.seed, jobs=args.jobs))
+        from repro.testkit.parallel import sweep_pool
+
+        # One persistent pool for the whole experiment: its sweeps reuse
+        # the same workers instead of forking a fresh Pool per fanout.
+        with sweep_pool(jobs=args.jobs):
+            print(entry[1](args.seed, jobs=None))
+    elif key == "e13":
+        if args.jobs is not None:
+            parser.error("e13 scales with --shards, not --jobs")
+        print(entry[1](args.seed, shards=args.shards, users=args.users))
     else:
         if args.jobs is not None:
             parser.error(f"--jobs only applies to sweep experiments "

@@ -19,6 +19,7 @@ the paper-vs-measured table, and assert the qualitative *shape* holds.
 | E10 | :func:`~repro.experiments.chaos.run_chaos_experiment` | randomized chaos search |
 | E11 | :func:`~repro.experiments.failover.run_failover_comparison` | warm-standby failover beats MDC-only |
 | E12 | :func:`~repro.experiments.storm.run_storm_comparison` | admission hardening tames alert storms |
+| E13 | :func:`~repro.experiments.sharded.run_sharded_comparison` | sharded farm-of-farms scales past one core |
 """
 
 from repro.experiments.ablations import (
@@ -57,6 +58,12 @@ from repro.experiments.latency import (
     run_proxy_routing,
 )
 from repro.experiments.portal_scale import PortalScaleResult, run_portal_log
+from repro.experiments.sharded import (
+    ShardedComparisonResult,
+    ShardedRunResult,
+    run_sharded_comparison,
+    run_sharded_throughput,
+)
 from repro.experiments.storm import (
     StormResult,
     StormVariant,
@@ -81,6 +88,8 @@ __all__ = [
     "FaultMonthResult",
     "HAFeatures",
     "PortalScaleResult",
+    "ShardedComparisonResult",
+    "ShardedRunResult",
     "StormResult",
     "StormVariant",
     "StrategyMetrics",
@@ -96,6 +105,8 @@ __all__ = [
     "run_im_one_way",
     "run_portal_log",
     "run_proxy_routing",
+    "run_sharded_comparison",
+    "run_sharded_throughput",
     "run_storm_comparison",
     "run_storm_sweep",
     "run_wish_location",

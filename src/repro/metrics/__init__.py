@@ -6,6 +6,7 @@ from repro.metrics.failover_report import failover_report
 from repro.metrics.invariant_report import invariant_report, sweep_report
 from repro.metrics.recovery_report import recovery_report
 from repro.metrics.reports import format_table
+from repro.metrics.shard_report import shard_report
 from repro.metrics.stats import Summary, summarize
 from repro.metrics.timeline import TraceEvent, render_trace, trace_alert
 from repro.metrics.trace_report import trace_attribution, trace_report
@@ -20,6 +21,7 @@ __all__ = [
     "invariant_report",
     "recovery_report",
     "render_trace",
+    "shard_report",
     "summarize",
     "sweep_report",
     "trace_alert",

@@ -95,7 +95,12 @@ class AlertSource:
         body: str,
         severity: AlertSeverity = AlertSeverity.ROUTINE,
         keyword_field: str = "keyword",
+        alert_id: Optional[str] = None,
     ) -> Alert:
+        # An explicit alert_id keeps ids independent of the process-global
+        # counter — required wherever ids must match across processes (the
+        # sharded farm's layout-invariance depends on it).
+        kwargs = {} if alert_id is None else {"alert_id": alert_id}
         return Alert(
             source=self.name,
             keyword=keyword,
@@ -104,6 +109,7 @@ class AlertSource:
             created_at=self.env.now,
             severity=severity,
             keyword_field=keyword_field,
+            **kwargs,
         )
 
     def emit(
@@ -112,13 +118,14 @@ class AlertSource:
         subject: str,
         body: str,
         severity: AlertSeverity = AlertSeverity.ROUTINE,
+        alert_id: Optional[str] = None,
     ) -> tuple[Alert, list["Process"]]:
         """Create an alert and start delivering it to every target.
 
         Returns the alert and the per-target delivery processes (each
         resolves to a :class:`DeliveryOutcome`).
         """
-        alert = self.make_alert(keyword, subject, body, severity)
+        alert = self.make_alert(keyword, subject, body, severity, alert_id=alert_id)
         self.emitted.append(alert)
         processes = [
             self.env.process(
@@ -136,6 +143,7 @@ class AlertSource:
         subject: str,
         body: str,
         severity: AlertSeverity = AlertSeverity.ROUTINE,
+        alert_id: Optional[str] = None,
     ) -> tuple[Alert, "Process"]:
         """Create an alert and deliver it to one recipient only.
 
@@ -145,7 +153,7 @@ class AlertSource:
         owner name of a registered one.
         """
         book = target if isinstance(target, AddressBook) else self.target_for(target)
-        alert = self.make_alert(keyword, subject, body, severity)
+        alert = self.make_alert(keyword, subject, body, severity, alert_id=alert_id)
         self.emitted.append(alert)
         process = self.env.process(
             self.deliver(alert, book),

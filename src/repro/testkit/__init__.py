@@ -49,7 +49,9 @@ from repro.testkit.oracle import (
     OracleReport,
     Violation,
     check_farm_equivalence,
+    check_shard_count_invariance,
 )
+from repro.testkit.parallel import SweepPool, fanout, sweep_pool
 from repro.testkit.schedule import (
     Reproducer,
     dump_reproducer,
@@ -82,10 +84,14 @@ __all__ = [
     "StormConfig",
     "StormEvent",
     "StormTrafficGenerator",
+    "SweepPool",
     "Violation",
     "chaos_sweep",
     "check_farm_equivalence",
+    "check_shard_count_invariance",
     "check_trace",
+    "fanout",
+    "sweep_pool",
     "drop_retry_stages",
     "dump_reproducer",
     "fault_from_dict",

@@ -797,3 +797,98 @@ def check_farm_equivalence(
                 f"{sorted(solo_delivered)}"
             )
     return report
+
+
+# ----------------------------------------------------------------------
+# Shard-count invariance
+# ----------------------------------------------------------------------
+
+
+def check_shard_count_invariance(
+    results=None,
+    shard_counts: tuple[int, ...] = (1, 2),
+    *,
+    population: int = 48,
+    seed: int = 7,
+    duration: float = 120.0,
+    epoch: float = 30.0,
+    drain: float = 120.0,
+    workload_kwargs: Optional[dict] = None,
+    inline: bool = True,
+) -> OracleReport:
+    """Audit that a sharded run's results do not depend on the shard count.
+
+    The determinism contract of :mod:`repro.core.shard` — placement,
+    per-tenant streams and bridge timestamps are all pure functions of seed
+    and tenant name — promises that partitioning the tenant set differently
+    only changes *where* work runs, never *what* happens.  This oracle pins
+    the promise: the merged journal fingerprint, aggregate counts and
+    receipt totals must be bit-identical across every layout.
+
+    Pass ``results`` (a list of
+    :class:`~repro.experiments.sharded.ShardedRunResult`, e.g. the ones an
+    e13 sweep just measured) to audit existing runs; otherwise the oracle
+    runs its own small inline comparison over ``shard_counts``.
+    """
+    report = OracleReport()
+    if results is None:
+        from repro.experiments.sharded import run_sharded_throughput
+
+        results = [
+            run_sharded_throughput(
+                shards=count,
+                users=population,
+                seed=seed,
+                duration=duration,
+                epoch=epoch,
+                drain=drain,
+                workload_kwargs=workload_kwargs,
+                inline=inline,
+            )
+            for count in shard_counts
+        ]
+    report.checked["shard_layouts"] = len(results)
+    if not results:
+        report.violations.append(
+            Violation("shard_count_invariance", "no sharded runs to compare")
+        )
+        return report
+    reference = results[0]
+    report.checked["tenants"] = reference.tenants
+    report.info["receipts"] = reference.receipts
+    for other in results[1:]:
+        label = f"shards={other.shards} vs shards={reference.shards}"
+        if other.merged_fingerprint != reference.merged_fingerprint:
+            report.violations.append(
+                Violation(
+                    "shard_count_invariance",
+                    f"{label}: merged journal fingerprint "
+                    f"{other.merged_fingerprint[:16]} != "
+                    f"{reference.merged_fingerprint[:16]}",
+                )
+            )
+        if dict(other.counts) != dict(reference.counts):
+            report.violations.append(
+                Violation(
+                    "shard_count_invariance",
+                    f"{label}: aggregate counts differ — "
+                    f"{dict(other.counts)} != {dict(reference.counts)}",
+                )
+            )
+        if other.receipts != reference.receipts:
+            report.violations.append(
+                Violation(
+                    "shard_count_invariance",
+                    f"{label}: receipt totals differ — "
+                    f"{other.receipts} != {reference.receipts}",
+                )
+            )
+        if other.tenants != reference.tenants:
+            report.violations.append(
+                Violation(
+                    "shard_count_invariance",
+                    f"{label}: materialized tenant counts differ — "
+                    f"{other.tenants} != {reference.tenants}",
+                )
+            )
+    return report

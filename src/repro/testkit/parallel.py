@@ -16,7 +16,9 @@ A sweep merged from N workers is therefore byte-identical to the same
 sweep run sequentially; ``tests/test_parallel_sweep.py`` pins exactly
 that.
 
-``jobs`` resolution: an explicit ``jobs`` argument wins; otherwise the
+``jobs`` resolution: an explicit ``jobs`` argument wins; otherwise an
+active :func:`sweep_pool` context (persistent workers shared by every
+``fanout`` call inside the ``with`` block); otherwise the
 ``REPRO_SWEEP_JOBS`` environment variable (the CI hook — the
 benchmark-smoke job runs the whole pytest suite with it set to 2);
 otherwise 1 (sequential, in-process, zero multiprocessing overhead).
@@ -25,8 +27,9 @@ otherwise 1 (sequential, in-process, zero multiprocessing overhead).
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from multiprocessing import get_all_start_methods, get_context
-from typing import Callable, Iterable, Optional, TypeVar
+from typing import Callable, Iterable, Iterator, Optional, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -56,6 +59,90 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def _pool_context():
+    """Fork keeps worker start cheap and inherits the loaded modules; fall
+    back to spawn where fork is unavailable (Windows, some macOS setups)."""
+    method = "fork" if "fork" in get_all_start_methods() else "spawn"
+    return get_context(method)
+
+
+class SweepPool:
+    """A reusable process pool for repeated :func:`fanout` calls.
+
+    A one-shot ``Pool`` per ``fanout`` call is the right default for a
+    single sweep, but chained sweeps (e10+e11+e12, the e13 comparison, a
+    benchmark session) pay fork+import for every call.  A ``SweepPool``
+    keeps the workers alive across calls; since every trial is
+    self-contained and deterministic, reusing a worker cannot change any
+    result — ``tests/test_parallel_sweep.py`` pins bit-identity against
+    the one-shot path.
+
+    The underlying pool is created lazily on the first map that needs it
+    (``jobs > 1`` and at least two items), so a ``SweepPool(jobs=1)`` —
+    the sequential CI configuration — never forks at all.
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        self.jobs = resolve_jobs(jobs)
+        self._pool = None
+        self._closed = False
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """``fanout`` semantics: item order in, item order out."""
+        if self._closed:
+            raise RuntimeError("sweep pool is closed")
+        work = list(items)
+        if self.jobs <= 1 or len(work) <= 1:
+            return [fn(item) for item in work]
+        if self._pool is None:
+            self._pool = _pool_context().Pool(processes=self.jobs)
+        return self._pool.map(fn, work, chunksize=1)
+
+    def close(self) -> None:
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+#: The innermost active :func:`sweep_pool`, consulted by :func:`fanout`
+#: when the caller passes ``jobs=None``.
+_active_pool: Optional[SweepPool] = None
+
+
+@contextmanager
+def sweep_pool(jobs: Optional[int] = None) -> Iterator[SweepPool]:
+    """Share one persistent worker pool across every ``fanout`` inside.
+
+    ::
+
+        with sweep_pool(jobs=4):
+            run_chaos_experiment(...)      # all three sweeps reuse the
+            run_failover_comparison(...)   # same four workers
+            run_storm_comparison(...)
+
+    Call sites that pass an explicit ``jobs`` to ``fanout`` are unaffected
+    (an explicit argument always wins); nesting restores the outer pool on
+    exit.
+    """
+    global _active_pool
+    pool = SweepPool(jobs)
+    previous = _active_pool
+    _active_pool = pool
+    try:
+        yield pool
+    finally:
+        _active_pool = previous
+        pool.close()
+
+
 def fanout(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -70,17 +157,19 @@ def fanout(
     seconds-long sims, so scheduling overhead is noise and the pool
     load-balances trials of uneven duration).
 
+    With ``jobs=None`` inside an active :func:`sweep_pool` context, the
+    call reuses the context's persistent workers instead of building a
+    fresh pool.
+
     ``fn`` and each item/result must be picklable when ``jobs > 1`` (they
     cross a process boundary): module-level functions and plain dataclasses
     qualify, lambdas and closures do not.
     """
+    if jobs is None and _active_pool is not None:
+        return _active_pool.map(fn, items)
     work = list(items)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(work) <= 1:
         return [fn(item) for item in work]
-    # Fork keeps worker start cheap and inherits the loaded modules; fall
-    # back to spawn where fork is unavailable (Windows, some macOS setups).
-    method = "fork" if "fork" in get_all_start_methods() else "spawn"
-    context = get_context(method)
-    with context.Pool(processes=min(jobs, len(work))) as pool:
+    with _pool_context().Pool(processes=min(jobs, len(work))) as pool:
         return pool.map(fn, work, chunksize=1)

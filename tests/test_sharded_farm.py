@@ -1,0 +1,295 @@
+"""The sharded farm-of-farms: partitioning, bridge, invariance, rollups.
+
+The headline property is **shard-count invariance**: for a fixed seed the
+merged journal fingerprint, aggregate counts and receipt totals are
+bit-identical however the tenant population is partitioned — including the
+degenerate shards=1 layout, which runs the same epoch-drain protocol.
+Everything else here pins the mechanisms that property rests on: complete
+disjoint partitions, conservative bridge timestamps, deterministic drain
+ordering, load accounting and the hot-shard detector's recommendations.
+"""
+
+import pytest
+
+from repro.core.shard import (
+    BridgeEnvelope,
+    ConsistentHashRing,
+    HotShardDetector,
+    ShardLoad,
+    ShardProtocolError,
+    ShardSpec,
+    ShardWorker,
+    ShardedFarm,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.sharded import (
+    E13_WORKLOAD,
+    E13_PROFILE,
+    e13_world_config,
+    run_sharded_throughput,
+)
+from repro.sim.clock import epoch_end, epoch_index, epochs_until
+from repro.testkit import check_shard_count_invariance
+
+#: Small but non-trivial: ~30% senders over 48 users, fan-out 2 → every
+#: epoch carries cross-shard traffic in both directions.
+SMALL = dict(
+    users=48,
+    seed=7,
+    duration=120.0,
+    epoch=30.0,
+    drain=120.0,
+    workload_kwargs={
+        "active_permille": 300,
+        "alerts_per_sender": 2,
+        "fanout_width": 2,
+    },
+)
+
+
+def small_run(shards: int, inline: bool = True, **overrides):
+    kwargs = dict(SMALL)
+    kwargs.update(overrides)
+    return run_sharded_throughput(shards=shards, inline=inline, **kwargs)
+
+
+def small_farm(shards: int, inline: bool = True, **overrides) -> ShardedFarm:
+    return ShardedFarm(
+        shards=shards,
+        seed=SMALL["seed"],
+        population=SMALL["users"],
+        workload=E13_WORKLOAD,
+        workload_kwargs={"duration": SMALL["duration"],
+                         **SMALL["workload_kwargs"]},
+        epoch=SMALL["epoch"],
+        world_config=e13_world_config(SMALL["seed"]),
+        profile=E13_PROFILE,
+        inline=inline,
+        **overrides,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shard-count invariance
+# ---------------------------------------------------------------------------
+
+
+class TestShardCountInvariance:
+    def test_inline_layouts_are_bit_identical(self):
+        runs = [small_run(shards) for shards in (1, 2, 3)]
+        report = check_shard_count_invariance(results=runs)
+        assert report.ok, report.summary()
+        fingerprints = {r.merged_fingerprint for r in runs}
+        assert len(fingerprints) == 1
+        assert runs[0].delivered > 0  # the runs actually did something
+
+    def test_worker_processes_match_inline(self):
+        inline = small_run(1, inline=True)
+        forked = small_run(2, inline=False)
+        assert forked.merged_fingerprint == inline.merged_fingerprint
+        assert forked.counts == inline.counts
+
+    def test_different_seed_changes_the_fingerprint(self):
+        assert (
+            small_run(1).merged_fingerprint
+            != small_run(1, seed=8).merged_fingerprint
+        )
+
+    def test_oracle_reports_a_forged_mismatch(self):
+        runs = [small_run(1), small_run(2)]
+        runs[1].merged_fingerprint = "0" * 64
+        runs[1].receipts += 1
+        report = check_shard_count_invariance(results=runs)
+        assert not report.ok
+        invariants = {v.invariant for v in report.violations}
+        assert invariants == {"shard_count_invariance"}
+        assert len(report.violations) == 2  # fingerprint + receipts
+
+    def test_oracle_self_run_mode(self):
+        report = check_shard_count_invariance(
+            shard_counts=(1, 2),
+            population=SMALL["users"],
+            seed=SMALL["seed"],
+            duration=SMALL["duration"],
+            epoch=SMALL["epoch"],
+            drain=SMALL["drain"],
+            workload_kwargs=SMALL["workload_kwargs"],
+        )
+        assert report.ok, report.summary()
+        assert report.checked["shard_layouts"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Partitioning and lazy tenancy
+# ---------------------------------------------------------------------------
+
+
+class TestPartitioning:
+    def test_local_names_are_a_complete_disjoint_partition(self):
+        specs = [
+            ShardSpec(
+                shard=shard, shards=3, seed=7, population=60,
+                workload=E13_WORKLOAD,
+                workload_kwargs={"duration": 60.0},
+                world_config=e13_world_config(7), profile=E13_PROFILE,
+            )
+            for shard in range(3)
+        ]
+        workers = [ShardWorker(spec) for spec in specs]
+        slices = [set(w.local_names) for w in workers]
+        assert set.union(*slices) == {f"user{i}" for i in range(60)}
+        assert sum(len(s) for s in slices) == 60  # pairwise disjoint
+
+    def test_tenants_materialize_lazily(self):
+        result = small_run(2)
+        # Senders are never materialized; only recipients cost a MAB.
+        assert 0 < result.tenants < result.population
+
+    def test_merged_latencies_arrive_sorted(self):
+        farm = small_farm(2)
+        with farm:
+            farm.run(until=SMALL["duration"] + SMALL["drain"])
+            rollup = farm.merged_rollup()
+        assert rollup.latencies == sorted(rollup.latencies)
+        assert rollup.receipts == len(rollup.latencies)
+        assert rollup.shards == 2
+
+
+# ---------------------------------------------------------------------------
+# Bridge protocol
+# ---------------------------------------------------------------------------
+
+
+class TestBridge:
+    def test_bridge_latency_below_epoch_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardSpec(
+                shard=0, shards=1, seed=0, population=1,
+                workload=E13_WORKLOAD, epoch=60.0, bridge_latency=30.0,
+            )
+
+    def test_envelope_sort_key_is_deliver_at_then_origin_then_seq(self):
+        envelopes = [
+            BridgeEnvelope(90.0, "user2", 0, "r", "News", "s", "b", "a3"),
+            BridgeEnvelope(60.0, "user9", 1, "r", "News", "s", "b", "a2"),
+            BridgeEnvelope(60.0, "user9", 0, "r", "News", "s", "b", "a1"),
+            BridgeEnvelope(60.0, "user1", 5, "r", "News", "s", "b", "a0"),
+        ]
+        assert [e.alert_id for e in sorted(envelopes)] == [
+            "a0", "a1", "a2", "a3",
+        ]
+
+    def test_unknown_command_raises_protocol_error(self):
+        farm = small_farm(1)
+        with farm:
+            farm._workers[0].send(("frobnicate",))
+            with pytest.raises(ShardProtocolError, match="unknown command"):
+                farm._workers[0].recv()
+            # The worker survives a bad command; the loop keeps serving.
+            farm.run_epoch()
+
+    def test_undelivered_envelopes_are_accounted(self):
+        # Horizon ends exactly at the traffic window: the last epoch's
+        # outbound envelopes are still in the coordinator's hands.
+        result = small_run(2, drain=0.0)
+        settled = small_run(2)
+        assert result.undelivered_envelopes > 0
+        assert settled.undelivered_envelopes == 0
+        assert result.receipts < settled.receipts
+
+    def test_run_covers_partial_final_epoch(self):
+        farm = small_farm(1)
+        with farm:
+            farm.run(until=SMALL["epoch"] * 1.5)
+            assert farm.now == SMALL["epoch"] * 2
+
+
+# ---------------------------------------------------------------------------
+# Epoch helpers
+# ---------------------------------------------------------------------------
+
+
+class TestEpochHelpers:
+    def test_boundaries(self):
+        assert epoch_index(0.0, 60.0) == 0
+        assert epoch_index(59.9, 60.0) == 0
+        assert epoch_index(60.0, 60.0) == 1
+        assert epoch_end(0.0, 60.0) == 60.0
+        assert epoch_end(60.0, 60.0) == 120.0
+
+    def test_epochs_until(self):
+        assert epochs_until(0.0, 60.0) == 0
+        assert epochs_until(1.0, 60.0) == 1
+        assert epochs_until(60.0, 60.0) == 1
+        assert epochs_until(61.0, 60.0) == 2
+
+    def test_bad_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            epoch_index(1.0, 0.0)
+        with pytest.raises(ValueError):
+            epochs_until(1.0, -1.0)
+
+
+# ---------------------------------------------------------------------------
+# Hot-shard detector
+# ---------------------------------------------------------------------------
+
+
+def _load(shard, events, vnode_events):
+    return ShardLoad(
+        shard=shard, journal_events=events, vnode_events=vnode_events
+    )
+
+
+class TestHotShardDetector:
+    def test_balanced_loads_produce_no_moves(self):
+        report = HotShardDetector().analyze(
+            [
+                _load(0, 100, {(0, 0): 100}),
+                _load(1, 110, {(1, 0): 110}),
+            ]
+        )
+        assert report.balanced
+        assert report.moves == []
+        assert "balanced" in report.summary()
+
+    def test_hot_shard_gets_vnode_moves_to_coolest(self):
+        report = HotShardDetector(threshold=1.25).analyze(
+            [
+                _load(0, 300, {(0, 0): 200, (0, 1): 100}),
+                _load(1, 60, {(1, 0): 60}),
+                _load(2, 60, {(2, 0): 60}),
+            ]
+        )
+        assert report.hot_shards == [0]
+        assert report.moves, report.summary()
+        move = report.moves[0]
+        assert move.vnode == (0, 0) and move.from_shard == 0
+        assert move.to_shard in (1, 2)
+        # Recommendations are directly usable as ring overrides.
+        ring = ConsistentHashRing(3).with_overrides(report.overrides())
+        assert ring.overrides[move.vnode] == move.to_shard
+
+    def test_single_vnode_shard_cannot_be_split(self):
+        report = HotShardDetector().analyze(
+            [
+                _load(0, 500, {(0, 3): 500}),
+                _load(1, 50, {(1, 0): 50}),
+            ]
+        )
+        assert report.hot_shards == [0]
+        assert report.moves == []  # one oversized tenant is indivisible
+
+    def test_detector_rejects_non_amplifying_threshold(self):
+        with pytest.raises(ConfigurationError):
+            HotShardDetector(threshold=1.0)
+
+    def test_e13_rollup_carries_vnode_attribution(self):
+        farm = small_farm(2)
+        with farm:
+            farm.run(until=SMALL["duration"] + SMALL["drain"])
+            rollup = farm.merged_rollup()
+        assert sum(
+            sum(load.vnode_events.values()) for load in rollup.loads
+        ) == sum(load.journal_events for load in rollup.loads)
+        assert rollup.placement.per_shard_events.keys() == {0, 1}
