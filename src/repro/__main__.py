@@ -183,6 +183,14 @@ def _e12(seed: int, jobs: int | None = None) -> str:
     return admission_report(result)
 
 
+def _e14(seed: int, jobs: int | None = None) -> str:
+    from repro.experiments import run_adversarial_comparison
+    from repro.metrics import adversarial_report
+
+    result = run_adversarial_comparison(seed=seed, jobs=jobs)
+    return adversarial_report(result)
+
+
 def _e13(seed: int, shards: int | None = None, users: int = 100_000) -> str:
     from repro.experiments import run_sharded_comparison
     from repro.metrics import shard_report
@@ -290,10 +298,11 @@ EXPERIMENTS = {
     "e11": ("warm-standby failover vs MDC-only", _e11),
     "e12": ("storm hardening: admission on vs off", _e12),
     "e13": ("sharded farm-of-farms beyond one core", _e13),
+    "e14": ("adversarial links: stabilizing vs naive transport", _e14),
 }
 
 #: Experiments whose sweeps accept a worker-pool size (``--jobs``).
-PARALLEL_EXPERIMENTS = frozenset({"e10", "e11", "e12"})
+PARALLEL_EXPERIMENTS = frozenset({"e10", "e11", "e12", "e14"})
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -308,14 +317,14 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trace_command(argv[1:])
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e13), 'all' (e1-e8), 'list', or 'trace' "
+        help="experiment id (e1..e14), 'all' (e1-e8), 'list', or 'trace' "
         "(span-tree forensics; see python -m repro trace --help)",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--jobs", type=int, default=None,
-        help="worker processes for sweep experiments (e10/e11/e12); results are "
-        "identical to --jobs 1, just faster",
+        help="worker processes for sweep experiments (e10/e11/e12/e14); "
+        "results are identical to --jobs 1, just faster",
     )
     parser.add_argument(
         "--shards", type=int, default=None,

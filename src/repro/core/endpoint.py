@@ -153,6 +153,10 @@ class SimbaEndpoint:
         )
         #: Decoded alerts awaiting the application (MAB's routing loop).
         self.alert_inbox: Store = Store(env)
+        #: Messages dropped at receive because the channel flagged them
+        #: corrupt (failed checksum).  Never acked, never parsed: a corrupt
+        #: alert behaves like a lost one, so the sender's fallback fires.
+        self.corrupt_discarded = 0
         self.running = False
         self._generation = 0
         #: Ablation switch: whether start() launches the monkey threads.
@@ -251,6 +255,9 @@ class SimbaEndpoint:
                 # back for whoever runs next.
                 self.im_client.incoming.put_front(message)
                 return
+            if message.corrupt:
+                self.corrupt_discarded += 1
+                continue
             seq = parse_ack_body(message.body)
             if seq is not None:
                 self.engine.acks.resolve(message.sender, seq)
@@ -282,6 +289,9 @@ class SimbaEndpoint:
                     self.email_address
                 ).put_back(message)
                 return
+            if message.corrupt:
+                self.corrupt_discarded += 1
+                continue
             if Alert.is_alert_payload(message.body):
                 yield from self._handle_alert(
                     message.body,

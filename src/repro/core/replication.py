@@ -42,6 +42,7 @@ from repro.core.alert import Alert
 from repro.core.endpoint import IncomingAlert
 from repro.core.host import Host
 from repro.core.pessimistic_log import PessimisticLog
+from repro.core.stabilizing import TransportAudit, make_receiver, make_sender
 from repro.core.watchdog import MasterDaemonController
 from repro.net.message import ChannelType
 from repro.obs import lifecycle_trace
@@ -198,6 +199,32 @@ class PairSide:
         self.pending_marks: list[dict] = []
         self._flushing = False
         self._reconciling = False
+        #: Stabilizing (or naive, for the E14 ablation) record transport;
+        #: installed by :meth:`ReplicatedPair.attach_transports`.
+        self.transport_audit = TransportAudit()
+        self.tx = None
+        self.rx = None
+
+    def attach_transport(self, kind: str) -> None:
+        """Install this side's sender and receiver for ``kind`` transport.
+
+        The receiver's out-of-band apply hook (naive duplicates only)
+        resolves ``self.deployment.log`` at call time, so reconciliation's
+        log re-seed is honoured automatically.
+        """
+        self.tx = make_sender(
+            kind,
+            link=self.pair.link,
+            key=f"{self.pair.pair_id}/{self.label}",
+            audit=self.transport_audit,
+        )
+        self.rx = make_receiver(
+            kind,
+            audit=self.transport_audit,
+            apply=lambda record: self.deployment.log.apply_replica_record(
+                record
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Identity / fencing state
@@ -333,7 +360,9 @@ class PairSide:
                 if not self.pair.link.usable(toward=peer.host):
                     self.pair.audit.unshipped_queued += 1
                     return
-                ok = yield from self.pair.link.transfer(toward=peer.host)
+                ok = yield from self.tx.ship(
+                    self.unshipped[0], toward=peer.host, rx=peer.rx
+                )
                 if not ok:
                     self.pair.audit.unshipped_queued += 1
                     return
@@ -342,6 +371,8 @@ class PairSide:
                     # snapshot already covers everything that was here).
                     return
                 self._apply_on_peer(self.unshipped.pop(0))
+                if not self.unshipped:
+                    self.transport_audit.last_drained_at = self.env.now
         finally:
             self._flushing = False
 
@@ -415,12 +446,14 @@ class ReplicatedPair:
         link: HostLink,
         fencing: FencingService,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        transport: str = "stabilizing",
     ):
         self.env = env
         self.pair_id = pair_id
         self.link = link
         self.fencing = fencing
         self.heartbeat_interval = heartbeat_interval
+        self.transport_kind = transport
         self.audit = EpochAudit()
         # Epoch 1 belongs to the initial primary; promotions advance it.
         first_epoch = fencing.advance(pair_id)
@@ -434,6 +467,7 @@ class ReplicatedPair:
         self.active = self.a
         self.controller: Optional[FailoverController] = None
         for side in (self.a, self.b):
+            side.attach_transport(transport)
             side.deployment.log.shipper = side
             side.deployment.endpoint.ack_guard = side.ack_guard
             side.deployment.endpoint.epoch_provider = side.current_epoch
@@ -740,6 +774,7 @@ def build_pair(
     check_interval: float = DEFAULT_LEASE_CHECK_INTERVAL,
     retry_interval: float = DEFAULT_RECONCILE_RETRY,
     mdc_kwargs: Optional[dict] = None,
+    transport: str = "stabilizing",
 ) -> ReplicatedPair:
     """Wire a warm standby for an existing deployment and start its
     failover controller (the primary's own MDC is attached separately via
@@ -776,6 +811,7 @@ def build_pair(
         link=link,
         fencing=fencing if fencing is not None else FencingService(),
         heartbeat_interval=heartbeat_interval,
+        transport=transport,
     )
     controller = FailoverController(
         env,

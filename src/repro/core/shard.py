@@ -70,7 +70,9 @@ from dataclasses import dataclass, field
 from multiprocessing import get_all_start_methods, get_context
 from typing import TYPE_CHECKING, Callable, NamedTuple, Optional, Sequence
 
+from repro.core.stabilizing import BridgeGuard, payload_checksum
 from repro.errors import ConfigurationError
+from repro.net.adversary import AdversaryModel, AdversaryStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.farm import BuddyFarm, FarmProfile, FarmTenant
@@ -213,6 +215,82 @@ class BridgeEnvelope(NamedTuple):
     subject: str
     body: str
     alert_id: str
+    #: CRC32 over the content fields (everything but ``deliver_at`` and
+    #: the checksum itself), stamped at queue time so the receiving shard
+    #: can detect in-flight corruption.  Trailing with a default so the
+    #: sort key — and positional 8-field construction — are unchanged;
+    #: ``(deliver_at, origin, seq)`` is unique for legitimate traffic, so
+    #: the extra field never decides an ordering.  0 means "unchecked"
+    #: (hand-built envelopes predating the checksum).
+    checksum: int = 0
+
+
+def envelope_checksum(envelope: BridgeEnvelope) -> int:
+    """The integrity tag for one envelope: CRC32 of its content fields.
+
+    ``deliver_at`` is routing metadata, not content — a delayed duplicate
+    copy must still verify clean — and the checksum field itself is
+    excluded by construction.
+    """
+    return payload_checksum(tuple(envelope[1:8]))
+
+
+def envelope_checksum_ok(envelope: BridgeEnvelope) -> bool:
+    """Whether the envelope verifies (0 = legacy unchecked, passes)."""
+    return envelope.checksum == 0 or (
+        envelope.checksum == envelope_checksum(envelope)
+    )
+
+
+def bridge_adversary_copies(
+    envelope: BridgeEnvelope,
+    model: Optional[AdversaryModel],
+    seed: int,
+    epoch: float,
+    stats: Optional[AdversaryStats] = None,
+) -> list[BridgeEnvelope]:
+    """Deterministic adversarial copies of one bridge envelope.
+
+    Every decision is a pure function of ``(seed, origin, seq)`` via
+    :func:`stable_hash64` — never of coordinator iteration order or an RNG
+    stream — so the same logical traffic suffers the identical fault set
+    under every shard layout, keeping the layout-invariance pin meaningful
+    even with the adversary on.
+
+    Only the *copies* are ever corrupted or delayed (the primary always
+    arrives intact): the bridge has no resend path, so corrupting primaries
+    would turn a transport experiment into alert loss.  A delayed copy
+    slips one epoch (``reorder``), a corrupted copy has its body mangled
+    while the checksum stays stale — exactly what the receive-side
+    :class:`~repro.core.stabilizing.BridgeGuard` exists to catch.
+    """
+    if model is None or not model.enabled:
+        return []
+    token = stable_hash64(
+        f"bridge-adversary-{seed}-{envelope.origin}-{envelope.seq}"
+    )
+    if (token & 0xFFFF) / 65536.0 >= model.duplicate_probability:
+        return []
+    extras = 1 + (token >> 16) % max(1, model.duplicate_max - 1)
+    copies = []
+    for index in range(extras):
+        sub = stable_hash64(
+            f"bridge-adversary-copy-{seed}-{envelope.origin}"
+            f"-{envelope.seq}-{index}"
+        )
+        copy = envelope
+        if (sub & 0xFFFF) / 65536.0 < model.reorder_probability:
+            copy = copy._replace(deliver_at=copy.deliver_at + epoch)
+            if stats is not None:
+                stats.reordered += 1
+        if ((sub >> 16) & 0xFFFF) / 65536.0 < model.corrupt_probability:
+            copy = copy._replace(body=copy.body + "\x00bitflip")
+            if stats is not None:
+                stats.corrupt_injected += 1
+        copies.append(copy)
+        if stats is not None:
+            stats.duplicates_injected += 1
+    return copies
 
 
 # ----------------------------------------------------------------------
@@ -377,6 +455,10 @@ class ShardSpec:
     ring_overrides: dict = field(default_factory=dict)
     world_config: Optional["WorldConfig"] = None
     profile: Optional["FarmProfile"] = None
+    #: Receive-side bridge transport: True verifies envelope checksums and
+    #: drops duplicate ``(origin, seq)`` arrivals before delivery; False is
+    #: the naive baseline that admits everything (and counts the damage).
+    bridge_stabilizing: bool = True
 
     def __post_init__(self):
         if not 0 <= self.shard < self.shards:
@@ -520,6 +602,7 @@ class ShardWorker:
             if self.ring.owner(f"{spec.prefix}{index}") == spec.shard
         ]
         self._outbound: list[BridgeEnvelope] = []
+        self.bridge_guard = BridgeGuard(stabilizing=spec.bridge_stabilizing)
         self.load = ShardLoad(shard=spec.shard)
         self.runtime = ShardRuntime(self)
         builder = _resolve_workload(spec.workload)
@@ -567,6 +650,7 @@ class ShardWorker:
             body=body,
             alert_id=alert_id,
         )
+        envelope = envelope._replace(checksum=envelope_checksum(envelope))
         self._outbound.append(envelope)
         self.load.envelopes_out += 1
         return envelope
@@ -595,6 +679,10 @@ class ShardWorker:
         for raw in inbound:
             envelope = BridgeEnvelope(*raw)
             self.load.envelopes_in += 1
+            if not self.bridge_guard.admit(
+                envelope.origin, envelope.seq, envelope_checksum_ok(envelope)
+            ):
+                continue
             env.process(
                 self._deliver_envelope(envelope),
                 name=f"bridge-{envelope.alert_id}",
@@ -626,6 +714,7 @@ class ShardWorker:
             "counts": dict(counts),
             "latencies": latencies,
             "load": self.load,
+            "bridge_guard": self.bridge_guard.audit.summary(),
         }
 
     def fingerprints(self) -> dict[str, str]:
@@ -784,6 +873,10 @@ class MergedRollup:
     loads: list[ShardLoad]
     undelivered_envelopes: int
     placement: PlacementReport
+    #: Summed receive-side bridge-transport counters across all shards
+    #: (corrupt_rejected / duplicate_dropped under the stabilizing guard;
+    #: corrupt_accepted / duplicate_applied under the naive baseline).
+    bridge_audit: dict = field(default_factory=dict)
 
     @property
     def delivered(self) -> int:
@@ -828,6 +921,8 @@ class ShardedFarm:
         profile: Optional["FarmProfile"] = None,
         detector: Optional[HotShardDetector] = None,
         inline: bool = False,
+        bridge_adversary: Optional[AdversaryModel] = None,
+        bridge_stabilizing: bool = True,
     ):
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
@@ -847,6 +942,9 @@ class ShardedFarm:
         )
         self.detector = detector if detector is not None else HotShardDetector()
         self.inline = inline
+        self.bridge_adversary = bridge_adversary
+        self.bridge_stabilizing = bridge_stabilizing
+        self.bridge_adversary_stats = AdversaryStats()
         self._specs = [
             ShardSpec(
                 shard=shard,
@@ -862,6 +960,7 @@ class ShardedFarm:
                 ring_overrides=dict(ring_overrides or {}),
                 world_config=world_config,
                 profile=profile,
+                bridge_stabilizing=bridge_stabilizing,
             )
             for shard in range(shards)
         ]
@@ -922,6 +1021,22 @@ class ShardedFarm:
         outbound: list[tuple] = []
         for worker in self._workers:
             outbound.extend(worker.recv())
+        if self.bridge_adversary is not None and self.bridge_adversary.enabled:
+            # Adversarial copies are injected *before* the global sort so
+            # they take their deterministic place in the one injection
+            # order; every decision is a pure function of envelope
+            # identity, so the fault set is layout-invariant too.
+            adversarial: list[tuple] = []
+            for raw in outbound:
+                for copy in bridge_adversary_copies(
+                    BridgeEnvelope(*raw),
+                    self.bridge_adversary,
+                    self.seed,
+                    self.epoch,
+                    stats=self.bridge_adversary_stats,
+                ):
+                    adversarial.append(tuple(copy))
+            outbound.extend(adversarial)
         outbound.sort()
         self._inbound = [[] for _ in range(self.shards)]
         for raw in outbound:
@@ -956,11 +1071,13 @@ class ShardedFarm:
         counts: Counter = Counter()
         latencies: list[float] = []
         loads: list[ShardLoad] = []
+        bridge_audit: Counter = Counter()
         tenants = 0
         for rollup in rollups:
             counts.update(rollup["counts"])
             latencies.extend(rollup["latencies"])
             loads.append(rollup["load"])
+            bridge_audit.update(rollup.get("bridge_guard", {}))
             tenants += rollup["tenants"]
         latencies.sort()
         return MergedRollup(
@@ -973,6 +1090,7 @@ class ShardedFarm:
             loads=loads,
             undelivered_envelopes=self._undelivered,
             placement=self.detector.analyze(loads),
+            bridge_audit=dict(bridge_audit),
         )
 
     def tenant_fingerprints(self) -> dict[str, str]:

@@ -82,6 +82,8 @@ class UserEndpoint:
 
         im_service.register_account(im_address)
         self.receipts: list[Receipt] = []
+        #: Corrupt-flagged messages dropped unparsed (failed checksum).
+        self.corrupt_discarded = 0
         self._seen: set[str] = set()
         self._session: Optional[IMSession] = None
         self._present = present
@@ -177,6 +179,11 @@ class UserEndpoint:
     def _im_loop(self, session: IMSession):
         while session.active and self._present:
             message = yield session.receive()
+            if message.corrupt:
+                # Failed checksum: never acked, so the MAB's ack timeout
+                # treats the alert as undelivered and falls back.
+                self.corrupt_discarded += 1
+                continue
             if not Alert.is_alert_payload(message.body):
                 continue
             alert = Alert.decode(message.body)
@@ -197,6 +204,9 @@ class UserEndpoint:
         phone = self.sms_gateway.phone(self.phone_number)
         while True:
             message = yield phone.receive()
+            if message.corrupt:
+                self.corrupt_discarded += 1
+                continue
             body = message.body
             if Alert.is_alert_payload(body):
                 self._record(Alert.decode(body), ChannelType.SMS)
@@ -218,5 +228,8 @@ class UserEndpoint:
         mailbox = self.email_service.mailbox(self.email_address)
         while True:
             message = yield mailbox.receive()
+            if message.corrupt:
+                self.corrupt_discarded += 1
+                continue
             if Alert.is_alert_payload(message.body):
                 self._record(Alert.decode(message.body), ChannelType.EMAIL)

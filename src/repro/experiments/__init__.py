@@ -20,7 +20,15 @@ the paper-vs-measured table, and assert the qualitative *shape* holds.
 | E11 | :func:`~repro.experiments.failover.run_failover_comparison` | warm-standby failover beats MDC-only |
 | E12 | :func:`~repro.experiments.storm.run_storm_comparison` | admission hardening tames alert storms |
 | E13 | :func:`~repro.experiments.sharded.run_sharded_comparison` | sharded farm-of-farms scales past one core |
+| E14 | :func:`~repro.experiments.adversarial.run_adversarial_comparison` | stabilizing transport survives adversarial links |
 """
+
+from repro.experiments.adversarial import (
+    AdversarialResult,
+    AdversarialVariant,
+    adversarial_schedule,
+    run_adversarial_comparison,
+)
 
 from repro.experiments.ablations import (
     AckTimeoutPoint,
@@ -75,6 +83,8 @@ from repro.experiments.wish_e2e import WishE2EResult, run_wish_location
 
 __all__ = [
     "AckTimeoutPoint",
+    "AdversarialResult",
+    "AdversarialVariant",
     "AladdinE2EResult",
     "ChaosExperimentResult",
     "FarmThroughputPoint",
@@ -94,7 +104,9 @@ __all__ = [
     "StormVariant",
     "StrategyMetrics",
     "WishE2EResult",
+    "adversarial_schedule",
     "run_ack_roundtrip",
+    "run_adversarial_comparison",
     "run_aladdin_disarm",
     "run_chaos_experiment",
     "crash_schedule",

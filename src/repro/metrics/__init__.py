@@ -1,6 +1,7 @@
 """Measurement helpers: latency summaries, collectors, report tables."""
 
 from repro.metrics.admission_report import admission_report
+from repro.metrics.adversarial_report import adversarial_report
 from repro.metrics.collector import LatencyCollector
 from repro.metrics.failover_report import failover_report
 from repro.metrics.invariant_report import invariant_report, sweep_report
@@ -16,6 +17,7 @@ __all__ = [
     "Summary",
     "TraceEvent",
     "admission_report",
+    "adversarial_report",
     "failover_report",
     "format_table",
     "invariant_report",

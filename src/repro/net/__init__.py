@@ -15,6 +15,7 @@ distribution and exposes outage/loss injection hooks used by the
 fault-tolerance experiments.
 """
 
+from repro.net.adversary import AdversaryModel, AdversaryStats
 from repro.net.channel import ChannelStats, LatencyModel
 from repro.net.email import EmailMessage, EmailService
 from repro.net.im import IMMessage, IMService, IMSession
@@ -23,6 +24,8 @@ from repro.net.presence import PresenceService
 from repro.net.sms import SMSGateway, SMSMessage
 
 __all__ = [
+    "AdversaryModel",
+    "AdversaryStats",
     "ChannelStats",
     "ChannelType",
     "EmailMessage",

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 import numpy as np
 
 from repro.errors import ChannelUnavailable, ConfigurationError
+from repro.net.adversary import AdversaryModel, AdversaryStats, draw_effects
 from repro.sim.rng import bounded_lognormal
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -85,8 +86,12 @@ class ChannelBase:
         self.name = name
         self.available = True
         self.stats = ChannelStats()
+        self.adversary = AdversaryModel.off()
+        self.adversary_stats = AdversaryStats()
         self._outage_listeners: list[Callable[[bool], None]] = []
         self._outage_until: Optional[float] = None
+        self._adversary_until: Optional[float] = None
+        self._adversary_baseline = AdversaryModel.off()
 
     def on_availability_change(self, listener: Callable[[bool], None]) -> None:
         """Register a callback invoked with the new availability state."""
@@ -129,6 +134,51 @@ class ChannelBase:
                 yield timers.acquire(self._outage_until - self.env.now)
         self._outage_until = None
         self.set_available(True)
+
+    def set_adversary(self, model: AdversaryModel) -> None:
+        """Install ``model`` as this channel's *ambient* adversary (fault
+        hook); pulses layer on top and revert to it when they expire."""
+        self.adversary = model
+        self._adversary_baseline = model
+
+    def adversary_pulse(self, model: AdversaryModel, duration: float) -> None:
+        """Run ``model`` for ``duration`` simulated seconds, then revert to
+        the ambient adversary.  Overlapping pulses extend the window (the
+        latest model wins), mirroring :meth:`outage` semantics.
+        """
+        if duration <= 0:
+            raise ConfigurationError(
+                f"adversary pulse duration must be > 0, got {duration}"
+            )
+        end = self.env.now + duration
+        self.adversary = model
+        if self._adversary_until is not None and self._adversary_until >= end:
+            return
+        first = (
+            self._adversary_until is None
+            or self._adversary_until <= self.env.now
+        )
+        self._adversary_until = end
+        if first:
+            self.env.process(
+                self._adversary_timer(), name=f"{self.name}-adversary"
+            )
+
+    def _adversary_timer(self):
+        with self.env.timers() as timers:
+            while (
+                self._adversary_until is not None
+                and self.env.now < self._adversary_until
+            ):
+                yield timers.acquire(self._adversary_until - self.env.now)
+        self._adversary_until = None
+        self.adversary = self._adversary_baseline
+
+    def _adversary_effects(
+        self, rng, copy: bool = False
+    ) -> tuple[float, int, bool]:
+        """Draw this send's (extra delay, extra copies, corrupt flag)."""
+        return draw_effects(self.adversary, rng, self.adversary_stats, copy)
 
     def _require_available(self) -> None:
         if not self.available:

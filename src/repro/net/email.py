@@ -10,7 +10,7 @@ owner is "online" (unlike IM).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -125,17 +125,31 @@ class EmailService(ChannelBase):
         )
         return message
 
-    def _deliver(self, message: EmailMessage):
+    def _deliver(self, message: EmailMessage, duplicate: bool = False):
         # Transit time rides on a scope-owned timer so an interrupted
         # delivery process never leaves its in-flight entry queued.
+        extra_delay, extra_copies, corrupt = self._adversary_effects(
+            self.rng, copy=duplicate
+        )
+        for index in range(extra_copies):
+            self.env.process(
+                self._deliver(replace(message), duplicate=True),
+                name=f"email-dup-{message.message_id}-{index}",
+            )
         with self.env.timers() as timers:
-            yield timers.acquire(self.latency.draw(self.rng))
+            yield timers.acquire(self.latency.draw(self.rng) + extra_delay)
         if self.loss_probability and self.rng.random() < self.loss_probability:
-            self.stats.lost += 1
-            if self.env.tracer is not None:
-                self._trace_transit(message, "lost")
+            if not duplicate:
+                self.stats.lost += 1
+                if self.env.tracer is not None:
+                    self._trace_transit(message, "lost")
             return
+        if corrupt:
+            message = replace(message, corrupt=True)
         yield self.mailbox(message.recipient).deposit(message)
+        if duplicate:
+            self.adversary_stats.duplicates_delivered += 1
+            return
         self.stats.record_delivery(self.env.now - message.created_at)
         if self.env.tracer is not None:
             self._trace_transit(message, "delivered")

@@ -13,7 +13,7 @@ exactly as the paper describes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -195,25 +195,42 @@ class IMService(ChannelBase):
         self.env.process(self._deliver(message), name=f"im-deliver-{message.seq}")
         return message
 
-    def _deliver(self, message: IMMessage):
+    def _deliver(self, message: IMMessage, duplicate: bool = False):
         # Transit time rides on a scope-owned timer so an interrupted
         # delivery process never leaves its in-flight entry queued.
+        extra_delay, extra_copies, corrupt = self._adversary_effects(
+            self.rng, copy=duplicate
+        )
+        for index in range(extra_copies):
+            self.env.process(
+                self._deliver(replace(message), duplicate=True),
+                name=f"im-dup-{message.seq}-{index}",
+            )
         with self.env.timers() as timers:
-            yield timers.acquire(self.latency.draw(self.rng))
+            yield timers.acquire(self.latency.draw(self.rng) + extra_delay)
         if self.loss_probability and self.rng.random() < self.loss_probability:
-            self.stats.lost += 1
-            if self.env.tracer is not None:
-                self._trace_transit(message, "lost")
+            if not duplicate:
+                self.stats.lost += 1
+                if self.env.tracer is not None:
+                    self._trace_transit(message, "lost")
             return
         target = self._sessions.get(message.recipient)
         if target is None or not self.available:
             # Recipient logged out (or service died) while the IM was in
             # flight; synchronous IM has nowhere to park it.
-            self.stats.lost += 1
-            if self.env.tracer is not None:
-                self._trace_transit(message, "lost")
+            if not duplicate:
+                self.stats.lost += 1
+                if self.env.tracer is not None:
+                    self._trace_transit(message, "lost")
             return
+        if corrupt:
+            message = replace(message, corrupt=True)
         yield target.inbox.put(message)
+        if duplicate:
+            # Duplicate copies ride the adversary counters only, keeping
+            # the primary stream's submitted == delivered + lost exact.
+            self.adversary_stats.duplicates_delivered += 1
+            return
         self.stats.record_delivery(self.env.now - message.created_at)
         if self.env.tracer is not None:
             self._trace_transit(message, "delivered")

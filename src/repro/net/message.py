@@ -51,6 +51,9 @@ class Message:
     correlation: Optional[str] = None
     headers: dict[str, Any] = field(default_factory=dict)
     message_id: int = field(default_factory=lambda: next(_message_ids))
+    #: Flagged at receive time when the adversary flipped bits in flight —
+    #: the receiver's checksum failed, so the payload must not be trusted.
+    corrupt: bool = False
     #: Tracing only: span id of the delivery block (or ack) that submitted
     #: this message, so the channel's retroactive transit span and the
     #: receiver's receive span parent correctly.  None when tracing is off.

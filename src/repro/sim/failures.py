@@ -55,6 +55,15 @@ class FaultKind(enum.Enum):
     #: expiry during the partition promotes the standby and the fencing
     #: epoch is what keeps the still-alive primary from double-routing.
     REPLICATION_LINK_DOWN = "replication_link_down"
+    #: Adversarial transport pulses (not in the paper's log; grounded in the
+    #: stabilizing-communication literature): for a bounded window the
+    #: targeted channel reorders packets inside a latency-inversion horizon,
+    #: amplifies sends into duplicate copies with independent delays, or
+    #: flips payload bits (flagged at receive).  ``params`` may carry
+    #: explicit :class:`~repro.net.adversary.AdversaryModel` knobs.
+    LINK_REORDER = "link_reorder"
+    LINK_DUPLICATE = "link_duplicate"
+    LINK_CORRUPT = "link_corrupt"
 
 
 @dataclass(frozen=True)

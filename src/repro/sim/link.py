@@ -8,13 +8,29 @@ availability flag the fault injector can toggle
 endpoint-host awareness: a transfer whose destination host is dark fails
 exactly like a dropped packet.
 
+The link also carries the adversarial fault surface: its
+:class:`~repro.net.adversary.AdversaryModel` can reorder a packet inside a
+bounded horizon, amplify it into duplicate copies with independent delays,
+and flag copies corrupt at receive time.  :meth:`HostLink.ship` exposes the
+payload-carrying form — every arriving copy (primary and duplicates) is
+handed to an ``on_receive`` callback, and the primary copy's callback return
+doubles as the transport-level acknowledgement.
+
+Accounting contract (the regression tier pins this): a transfer refused
+pre-flight charges ``stats.rejected`` exactly once and never enters the
+pipe; a packet that entered the pipe charges exactly one of
+``stats.delivered`` / ``stats.lost``, whether it fell to the loss draw, a
+mid-flight outage, or a dark destination.  ``submitted == delivered + lost``
+therefore holds across any resend sequence; duplicate copies ride the
+adversary counters only.
+
 The warm-standby pair (:mod:`repro.core.replication`) ships pessimistic-log
 records and heartbeats over one of these.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Callable, NamedTuple, Optional
 
 import numpy as np
 
@@ -27,6 +43,15 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: LAN-to-LAN ship latency: a few tens of milliseconds, tail under a second.
 DEFAULT_LINK_LATENCY = LatencyModel(median=0.03, sigma=0.5, low=0.005, high=1.0)
+
+
+class LinkPacket(NamedTuple):
+    """One arriving copy of a shipped payload, as the receiver sees it."""
+
+    payload: Any
+    corrupt: bool
+    duplicate: bool
+    sent_at: float
 
 
 class HostLink(ChannelBase):
@@ -65,18 +90,71 @@ class HostLink(ChannelBase):
         lost.  Waiting the latency happens in either case — the sender only
         learns the outcome after the round trip.
         """
+        result = yield from self.ship(None, toward=toward)
+        return result
+
+    def ship(
+        self,
+        payload: Any,
+        toward: Optional["Host"] = None,
+        on_receive: Optional[Callable[[LinkPacket], Optional[bool]]] = None,
+    ):
+        """Generator: move ``payload`` toward ``toward`` (default ``dst``).
+
+        Every copy that arrives — the primary and any adversarial
+        duplicates — is handed to ``on_receive`` as a :class:`LinkPacket`.
+        The return value is False for a pre-flight refusal or an in-flight
+        loss; when the primary copy arrives it is whatever ``on_receive``
+        returned (``None`` coerces to True), which lets a receiver NACK a
+        corrupt frame through the sender's round trip.
+        """
         toward = toward if toward is not None else self.dst
         if not self.available:
+            # Pre-flight refusal: the packet never entered the pipe, so it
+            # is charged to ``rejected`` only — never also to ``lost``.
             self.stats.rejected += 1
             return False
         self.stats.submitted += 1
         sent_at = self.env.now
-        yield self.env.timeout(self.latency.draw(self.rng))
-        if self.loss_probability and self.rng.random() < self.loss_probability:
-            self.stats.lost += 1
-            return False
-        if not self.available or not toward.up:
-            self.stats.lost += 1
+        delay = self.latency.draw(self.rng)
+        extra_delay, extra_copies, corrupt = self._adversary_effects(self.rng)
+        for index in range(extra_copies):
+            self.env.process(
+                self._ship_copy(payload, toward, on_receive, sent_at),
+                name=f"{self.name}-dup{index}",
+            )
+        yield self.env.timeout(delay + extra_delay)
+        if self._in_flight_failure(toward):
             return False
         self.stats.record_delivery(self.env.now - sent_at)
+        if on_receive is not None:
+            ack = on_receive(LinkPacket(payload, corrupt, False, sent_at))
+            return True if ack is None else bool(ack)
         return True
+
+    def _in_flight_failure(self, toward: "Host") -> bool:
+        """One exit point for every in-flight failure: exactly one ``lost``
+        charge whether the loss draw hit, the link died mid-flight, or the
+        destination host was dark at arrival."""
+        lost = bool(
+            self.loss_probability
+            and self.rng.random() < self.loss_probability
+        )
+        if lost or not self.available or not toward.up:
+            self.stats.lost += 1
+            return True
+        return False
+
+    def _ship_copy(self, payload, toward, on_receive, sent_at: float):
+        """A duplicate copy in flight: independent latency, its own reorder
+        and corruption draws, and no primary-stream accounting."""
+        delay = self.latency.draw(self.rng)
+        extra_delay, _, corrupt = self._adversary_effects(self.rng, copy=True)
+        yield self.env.timeout(delay + extra_delay)
+        if self.loss_probability and self.rng.random() < self.loss_probability:
+            return
+        if not self.available or not toward.up:
+            return
+        self.adversary_stats.duplicates_delivered += 1
+        if on_receive is not None:
+            on_receive(LinkPacket(payload, corrupt, True, sent_at))

@@ -35,13 +35,19 @@ from repro.testkit.bugs import (
     silent_drop_stages,
 )
 from repro.testkit.generator import (
+    ADVERSARY_FAULT_KINDS,
     ChaosIntensity,
     FaultScheduleGenerator,
     StormConfig,
     StormEvent,
     StormTrafficGenerator,
 )
-from repro.testkit.harness import ChaosReport, ChaosRunConfig, run_chaos
+from repro.testkit.harness import (
+    ChaosReport,
+    ChaosRunConfig,
+    adversary_model_for,
+    run_chaos,
+)
 from repro.testkit.oracle import (
     ADMISSION_TERMINAL_KINDS,
     DeliveryOracle,
@@ -68,7 +74,9 @@ from repro.testkit.trace_oracle import check_trace
 
 __all__ = [
     "ADMISSION_TERMINAL_KINDS",
+    "ADVERSARY_FAULT_KINDS",
     "AbandonAmnesiaRetryStage",
+    "adversary_model_for",
     "ChaosIntensity",
     "ChaosReport",
     "ChaosRunConfig",

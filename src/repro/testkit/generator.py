@@ -115,6 +115,13 @@ class ChaosIntensity:
     #: The storm's standby crash lands this long after the primary's (the
     #: default lease expires at ~20 s, so the window straddles promotion).
     standby_crash_delay: tuple[float, float] = (8.0, 45.0)
+    #: Adversarial mode: how long one LINK_REORDER / LINK_DUPLICATE /
+    #: LINK_CORRUPT pulse keeps a channel's adversary knobs turned up.
+    adversary_pulse_duration: tuple[float, float] = (30.0, 4 * MINUTE)
+    #: Adversarial mode: per-packet effect probability inside a pulse.
+    adversary_probability: tuple[float, float] = (0.1, 0.5)
+    #: Adversarial mode: reorder-pulse latency-inversion horizon (seconds).
+    adversary_horizon: tuple[float, float] = (0.5, 10.0)
 
     def __post_init__(self):
         if self.faults_per_hour < 0:
@@ -164,6 +171,20 @@ REPLICATION_KIND_WEIGHTS: dict[FaultKind, float] = {
     FaultKind.POWER_OUTAGE: 2.0,
 }
 
+#: Extra weights layered on in adversarial mode: windows during which a
+#: channel reorders, duplicates or corrupts packets in flight.  A separate
+#: dict for the same reason as :data:`REPLICATION_KIND_WEIGHTS` — the
+#: default generator never draws these kinds, so pre-adversary schedules
+#: stay bit-for-bit unchanged for a fixed seed.
+ADVERSARIAL_KIND_WEIGHTS: dict[FaultKind, float] = {
+    FaultKind.LINK_REORDER: 1.0,
+    FaultKind.LINK_DUPLICATE: 1.0,
+    FaultKind.LINK_CORRUPT: 0.75,
+}
+
+#: The adversarial pulse kinds (handlers map these to ``adversary_pulse``).
+ADVERSARY_FAULT_KINDS = frozenset(ADVERSARIAL_KIND_WEIGHTS)
+
 
 class FaultScheduleGenerator:
     """Sample random fault schedules for a fixed set of users."""
@@ -176,6 +197,7 @@ class FaultScheduleGenerator:
         start: float = 5 * MINUTE,
         intensity: ChaosIntensity | None = None,
         replication: bool = False,
+        adversarial: bool = False,
     ):
         if not users:
             raise ConfigurationError("at least one user is required")
@@ -187,10 +209,13 @@ class FaultScheduleGenerator:
         self.start = float(start)
         self.intensity = intensity if intensity is not None else ChaosIntensity()
         self.replication = bool(replication)
+        self.adversarial = bool(adversarial)
         self.rng = np.random.default_rng(self.seed)
         weight_table = dict(KIND_WEIGHTS)
         if self.replication:
             weight_table.update(REPLICATION_KIND_WEIGHTS)
+        if self.adversarial:
+            weight_table.update(ADVERSARIAL_KIND_WEIGHTS)
         kinds = list(weight_table)
         weights = np.array([weight_table[k] for k in kinds], dtype=float)
         self._kinds = kinds
@@ -243,6 +268,8 @@ class FaultScheduleGenerator:
                 target=f"{TARGET_REPLICATION_LINK}:{self._draw_user()}",
                 duration=self._uniform(intensity.link_down_duration),
             )
+        if kind in ADVERSARY_FAULT_KINDS:
+            return self._make_adversary_pulse(at, kind)
         if kind is FaultKind.DIALOG_POPUP:
             caption, button = KNOWN_DIALOG_CAPTIONS[
                 int(self.rng.integers(0, len(KNOWN_DIALOG_CAPTIONS)))
@@ -267,6 +294,42 @@ class FaultScheduleGenerator:
             }
         return ScheduledFault(
             at=at, kind=kind, target=per_user_target(kind, user), params=params,
+        )
+
+    def _make_adversary_pulse(
+        self, at: float, kind: FaultKind
+    ) -> ScheduledFault:
+        """One bounded window of channel misbehaviour.
+
+        The pulse targets a shared service channel — or, in replication
+        mode, sometimes one tenant's log-ship link, the path the
+        stabilizing transport exists to defend.  Params pin the knobs the
+        handler hands to :meth:`~repro.net.channel.ChannelBase
+        .adversary_pulse`, so a shrunk schedule replays the identical
+        window.
+        """
+        intensity = self.intensity
+        if self.replication and self.rng.random() < 0.5:
+            target = f"{TARGET_REPLICATION_LINK}:{self._draw_user()}"
+        else:
+            target = (TARGET_IM_SERVICE, TARGET_EMAIL_SERVICE)[
+                int(self.rng.integers(0, 2))
+            ]
+        params: dict = {
+            "probability": round(
+                self._uniform(intensity.adversary_probability), 3
+            )
+        }
+        if kind is FaultKind.LINK_REORDER:
+            params["horizon"] = round(
+                self._uniform(intensity.adversary_horizon), 2
+            )
+        elif kind is FaultKind.LINK_DUPLICATE:
+            params["copies"] = int(self.rng.integers(2, 6))
+        return ScheduledFault(
+            at=at, kind=kind, target=target,
+            duration=self._uniform(intensity.adversary_pulse_duration),
+            params=params,
         )
 
     def make_failover_storm(self, at: float) -> list[ScheduledFault]:

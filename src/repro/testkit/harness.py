@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro.core.admission import AdmissionConfig
 from repro.core.alert import AlertSeverity
 from repro.core.farm import FarmProfile
+from repro.net.adversary import DEFAULT_REORDER_HORIZON, AdversaryModel
 from repro.net.channel import LatencyModel
 from repro.sim.clock import HOUR, MINUTE
 from repro.sim.failures import FaultInjector, FaultKind, ScheduledFault
@@ -85,6 +86,16 @@ class ChaosRunConfig:
     #: Replace the steady round-robin workload with an alert storm
     #: (burst arrivals from many sources, duplicate submissions).
     storm: Optional[StormConfig] = None
+    #: Ambient adversary applied to every channel (IM, email, SMS, and in
+    #: replication mode every pair's ship link) for the whole run; pulse
+    #: faults (LINK_REORDER / LINK_DUPLICATE / LINK_CORRUPT) layer bounded
+    #: windows on top.  None = benign channels, and the field is dropped
+    #: from the fingerprint so pre-adversary pins are unchanged.
+    adversary: Optional[AdversaryModel] = None
+    #: Replication record transport: "stabilizing" (checksum + dedup +
+    #: bounded resend) or "naive" (the E14 baseline).  None = the default
+    #: ("stabilizing"), dropped from the fingerprint like ``adversary``.
+    transport: Optional[str] = None
 
 
 @dataclass
@@ -118,8 +129,15 @@ class ChaosReport:
 
     def fingerprint(self) -> str:
         """Deterministic digest of the run's observable behaviour."""
+        config_payload = asdict(self.config)
+        # Optional=None fields are dropped so pre-change fingerprints
+        # (pinned reproducers) are byte-identical — same pattern as the
+        # "promotions"/"admission" keys below.
+        for optional in ("adversary", "transport"):
+            if config_payload.get(optional) is None:
+                config_payload.pop(optional, None)
         payload = {
-            "config": asdict(self.config),
+            "config": config_payload,
             "schedule": [
                 (f.at, f.kind.value, f.target, f.duration,
                  sorted(f.params.items()))
@@ -156,6 +174,37 @@ class ChaosReport:
         )
 
 
+#: The channel-adversary pulse kinds a handler maps to ``adversary_pulse``.
+ADVERSARY_PULSE_KINDS = frozenset(
+    {FaultKind.LINK_REORDER, FaultKind.LINK_DUPLICATE, FaultKind.LINK_CORRUPT}
+)
+
+
+def adversary_model_for(fault: ScheduledFault) -> AdversaryModel:
+    """The one-effect :class:`AdversaryModel` a pulse fault pins.
+
+    Each pulse kind turns up exactly one knob (probability and the
+    kind-specific parameter ride in ``fault.params``), so a shrunk
+    schedule isolates which misbehaviour broke the run.
+    """
+    probability = float(fault.params.get("probability", 0.25))
+    if fault.kind is FaultKind.LINK_REORDER:
+        return AdversaryModel(
+            reorder_probability=probability,
+            reorder_horizon=float(
+                fault.params.get("horizon", DEFAULT_REORDER_HORIZON)
+            ),
+        )
+    if fault.kind is FaultKind.LINK_DUPLICATE:
+        return AdversaryModel(
+            duplicate_probability=probability,
+            duplicate_max=int(fault.params.get("copies", 3)),
+        )
+    if fault.kind is FaultKind.LINK_CORRUPT:
+        return AdversaryModel(corrupt_probability=probability)
+    raise ValueError(f"{fault.kind} is not an adversary pulse kind")
+
+
 def wire_chaos_targets(
     world: SimbaWorld,
     farm: "BuddyFarm",
@@ -173,11 +222,21 @@ def wire_chaos_targets(
         if fault.kind is FaultKind.IM_SERVICE_OUTAGE:
             world.im.outage(fault.duration)
             return True
+        if fault.kind in ADVERSARY_PULSE_KINDS:
+            world.im.adversary_pulse(
+                adversary_model_for(fault), fault.duration
+            )
+            return True
         return False
 
     def on_email_service(fault: ScheduledFault) -> bool:
         if fault.kind is FaultKind.EMAIL_OUTAGE:
             world.email.outage(fault.duration)
+            return True
+        if fault.kind in ADVERSARY_PULSE_KINDS:
+            world.email.adversary_pulse(
+                adversary_model_for(fault), fault.duration
+            )
             return True
         return False
 
@@ -257,6 +316,11 @@ def _link_handler(tenant: "FarmTenant"):
     def on_link(fault: ScheduledFault) -> bool:
         if fault.kind is FaultKind.REPLICATION_LINK_DOWN:
             tenant.pair.link.outage(fault.duration)
+            return True
+        if fault.kind in ADVERSARY_PULSE_KINDS:
+            tenant.pair.link.adversary_pulse(
+                adversary_model_for(fault), fault.duration
+            )
             return True
         return False
 
@@ -359,7 +423,14 @@ def run_chaos(
             heartbeat_interval=config.heartbeat_interval,
             lease_timeout=config.lease_timeout,
             check_interval=config.lease_check_interval,
+            transport=config.transport or "stabilizing",
         )
+    if config.adversary is not None:
+        for channel in (world.im, world.email, world.sms):
+            channel.set_adversary(config.adversary)
+        for tenant in tenants:
+            if tenant.pair is not None:
+                tenant.pair.link.set_adversary(config.adversary)
     farm.start_watchdogs(check_interval=config.mdc_check_interval)
 
     source = world.create_source("portal")

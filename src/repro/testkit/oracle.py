@@ -48,6 +48,21 @@ audited on *both* sides, and a ``fenced`` outcome (the side refused the
 trip and forwarded the alert to the active side) is terminal but is
 neither a delivery nor a dead letter.
 
+The adversarial-transport layer (:mod:`repro.core.stabilizing`) adds three
+invariants over each pair side's :class:`~repro.core.stabilizing
+.TransportAudit`:
+
+- **no-corrupt-accepted** — no receiver ever applied a frame the channel
+  corrupted in flight; the stabilizing receiver's checksum rejects it and
+  the sender resends.  Any ``corrupt_accepted`` count is a violation.
+- **stabilized-exactly-once** — no record was ever applied twice by the
+  transport (``duplicate_applied == 0``): duplicate copies the adversary
+  injected were dropped at the dedup watermark, not re-applied.
+- **convergence-bounded** — after the run settles, every side's unshipped
+  queue has drained and no frame needed more than the sender's
+  ``resend_limit`` resend rounds: whatever transient garbage the channel
+  held, the pair re-converged within the promised bound.
+
 :func:`check_farm_equivalence` is the remaining ISSUE invariant: a
 BuddyFarm run must be event-equivalent to the same users run as
 independent MABs.  Channel latencies *do* differ (tenants share the
@@ -210,6 +225,14 @@ class DeliveryOracle:
         pairs_checked = 0
         promotions = 0
         forwarded = 0
+        transport_shipped = 0
+        transport_resends = 0
+        corrupt_rejected = 0
+        duplicate_dropped = 0
+        corrupt_accepted = 0
+        duplicate_applied = 0
+        transport_converged_at = 0.0
+        corrupt_discarded = 0
         admission_tenants = 0
         admission_sheds = 0
         admission_suppressed = 0
@@ -229,6 +252,21 @@ class DeliveryOracle:
                     (side.label, side.deployment) for side in pair.sides()
                 ]
                 self._check_epoch_fencing(report, pair, name)
+                for side in pair.sides():
+                    audit = side.transport_audit
+                    transport_shipped += audit.shipped
+                    transport_resends += audit.resends
+                    corrupt_rejected += audit.corrupt_rejected
+                    duplicate_dropped += audit.duplicate_dropped
+                    corrupt_accepted += audit.corrupt_accepted
+                    duplicate_applied += audit.duplicate_applied
+                    transport_converged_at = max(
+                        transport_converged_at, audit.last_drained_at
+                    )
+                    self._check_transport(report, side, name)
+            corrupt_discarded += tenant.user.corrupt_discarded
+            for _, deployment in audited:
+                corrupt_discarded += deployment.endpoint.corrupt_discarded
             delivered = tenant.user.unique_alerts_received()
             per_alert = by_user.get(name, {})
             alerts_checked += len(per_alert)
@@ -387,7 +425,17 @@ class DeliveryOracle:
         if pairs_checked:
             report.checked["pairs"] = pairs_checked
             report.checked["promotions"] = promotions
+            report.checked["transport_shipped"] = transport_shipped
             report.info["forwarded_by_fenced"] = forwarded
+            report.info["transport_resends"] = transport_resends
+            report.info["corrupt_rejected"] = corrupt_rejected
+            report.info["duplicate_dropped"] = duplicate_dropped
+            report.info["corrupt_accepted"] = corrupt_accepted
+            report.info["duplicate_applied"] = duplicate_applied
+            #: Sim time the unshipped queues last drained — the E14
+            #: convergence figure (bounded lag past the fault window).
+            report.info["transport_converged_at"] = transport_converged_at
+        report.info["corrupt_discarded"] = corrupt_discarded
         report.info["late_acks"] = late_acks
         report.info["unsolicited_acks"] = unsolicited_acks
         report.info["user_duplicates_discarded"] = user_duplicates
@@ -503,6 +551,75 @@ class DeliveryOracle:
                         break
                 if violated:
                     break
+
+    # ------------------------------------------------------------------
+    # Stabilizing-transport invariants
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_transport(report: OracleReport, side, user: str) -> None:
+        """Audit one pair side's record transport after the run settles.
+
+        ``no_corrupt_accepted`` and ``stabilized_exactly_once`` hold by
+        construction under the stabilizing transport and are exactly the
+        counters the naive baseline accumulates under an adversary — the
+        oracle is what makes E14's ablation a pass/fail statement.
+        ``convergence_bounded`` is the self-stabilization promise: the
+        unshipped queue drained (when shipping was possible at settle) and
+        no single ship spun past its structural ceiling of
+        ``resend_limit + 1`` rounds.  A give-up *at* the ceiling is the
+        designed escape hatch — the record goes back to the caller's queue
+        under a fresh sequence number — so only a resend loop that kept
+        going beyond its budget is a violation.
+        """
+        audit = side.transport_audit
+        where = f"side {side.label}"
+        if audit.corrupt_accepted:
+            report.violations.append(
+                Violation(
+                    "no_corrupt_accepted",
+                    f"{audit.corrupt_accepted} corrupt frame(s) applied at "
+                    f"{where}",
+                    user=user,
+                )
+            )
+        if audit.duplicate_applied:
+            report.violations.append(
+                Violation(
+                    "stabilized_exactly_once",
+                    f"{audit.duplicate_applied} duplicate frame(s) "
+                    f"re-applied at {where}",
+                    user=user,
+                )
+            )
+        limit = getattr(side.tx, "resend_limit", None)
+        if limit is not None and audit.max_resend_rounds > limit + 1:
+            report.violations.append(
+                Violation(
+                    "convergence_bounded",
+                    f"a frame took {audit.max_resend_rounds} resend rounds "
+                    f"(ceiling {limit + 1}) at {where}",
+                    user=user,
+                )
+            )
+        # Queue-drained only binds when shipping was possible at settle:
+        # a run ending with the peer crashed or the link down legitimately
+        # leaves records queued (the flush loop retries forever).
+        peer = side.peer
+        shippable = (
+            side.host.up
+            and peer.host.up
+            and side.pair.link.usable(toward=peer.host)
+        )
+        if side.unshipped and shippable:
+            report.violations.append(
+                Violation(
+                    "convergence_bounded",
+                    f"{len(side.unshipped)} record(s) still unshipped after "
+                    f"settle at {where}",
+                    user=user,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Replication invariants

@@ -133,7 +133,10 @@ def make_reproducer(
 
 
 def replay_reproducer(
-    path: str | Path, stage_factory=None, trace: bool = False
+    path: str | Path,
+    stage_factory=None,
+    trace: bool = False,
+    overrides: dict[str, Any] | None = None,
 ) -> "ChaosReport":
     """Re-run a pinned scenario against the current pipeline.
 
@@ -141,9 +144,13 @@ def replay_reproducer(
     pinned schedule still has teeth); None replays against the real stages,
     which is the regression direction CI runs.  ``trace`` replays with a
     :class:`repro.obs.TraceSink` installed (``report.trace``) — same run,
-    same fingerprint, plus the causal span record.
+    same fingerprint, plus the causal span record.  ``overrides`` patches
+    individual :class:`ChaosRunConfig` fields over the pinned ones — the
+    adversarial teeth test replays its pin with ``{"transport": "naive"}``
+    to prove the schedule still breaks the unprotected transport.
     """
     from repro.core.admission import AdmissionConfig
+    from repro.net.adversary import AdversaryModel
     from repro.testkit.generator import StormConfig
     from repro.testkit.harness import ChaosRunConfig, run_chaos
 
@@ -155,6 +162,10 @@ def replay_reproducer(
         kwargs["admission"] = AdmissionConfig.from_dict(kwargs["admission"])
     if isinstance(kwargs.get("storm"), dict):
         kwargs["storm"] = StormConfig.from_dict(kwargs["storm"])
+    if isinstance(kwargs.get("adversary"), dict):
+        kwargs["adversary"] = AdversaryModel.from_dict(kwargs["adversary"])
+    if overrides:
+        kwargs.update(overrides)
     config = ChaosRunConfig(**kwargs)
     return run_chaos(
         reproducer.schedule,

@@ -24,7 +24,7 @@ N_USERS = 20
 SEED = 2027
 
 
-def run_golden_farm(tracer=None, admission=None):
+def run_golden_farm(tracer=None, admission=None, adversary=None):
     """Build and run the scenario; returns the farm (world has quiesced).
 
     ``tracer`` (a :class:`repro.obs.TraceSink`) is installed on the world's
@@ -37,6 +37,12 @@ def run_golden_farm(tracer=None, admission=None):
     :meth:`~repro.core.admission.AdmissionConfig.permissive` and asserts
     the journals stay byte-identical to the golden — hardening wired but
     switched off must be a perfect no-op.
+
+    ``adversary`` (an :class:`repro.net.adversary.AdversaryModel`) is
+    installed as the ambient adversary on every substrate channel.  The
+    adversary-off regression test passes
+    :meth:`~repro.net.adversary.AdversaryModel.off` and asserts byte
+    identity — the benign adversary must draw no RNG at all.
     """
     from repro.core.farm import FarmProfile
     from repro.world import SimbaWorld, WorldConfig
@@ -44,6 +50,9 @@ def run_golden_farm(tracer=None, admission=None):
     world = SimbaWorld(WorldConfig(seed=SEED, email_loss=0.0, sms_loss=0.0))
     if tracer is not None:
         tracer.install(world.env)
+    if adversary is not None:
+        for channel in (world.im, world.email, world.sms):
+            channel.set_adversary(adversary)
     farm = world.create_farm(
         shards=4,
         profile=FarmProfile(categories=("News",), accept_sources=("portal",)),

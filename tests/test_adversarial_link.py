@@ -1,0 +1,225 @@
+"""Unit tier for the adversarial link surface.
+
+Exercises :class:`~repro.sim.link.HostLink` directly — two bare hosts, one
+pipe — against each :class:`~repro.net.adversary.AdversaryModel` knob in
+isolation, pins the accounting contract (``submitted == delivered + lost``
+for anything that entered the pipe, ``rejected`` alone for a pre-flight
+refusal), and proves the benign adversary is a perfect no-op: identical RNG
+consumption at link level, byte-identical golden-farm journals at system
+level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.host import Host
+from repro.net.adversary import AdversaryModel
+from repro.net.channel import LatencyModel
+from repro.sim.kernel import Environment
+from repro.sim.link import HostLink
+
+from tests.golden_farm import (
+    GOLDEN_FARM_PATH,
+    run_golden_farm,
+    serialize_farm_journals,
+)
+
+#: Degenerate latency so arrival times expose adversary delays exactly.
+FIXED = LatencyModel(median=0.1, sigma=0.0, low=0.1, high=0.1)
+
+
+def make_link(seed=7, adversary=None, **kwargs):
+    env = Environment()
+    src = Host(env, name="primary")
+    dst = Host(env, name="standby")
+    link = HostLink(env, src, dst, rng=np.random.default_rng(seed), **kwargs)
+    if adversary is not None:
+        link.set_adversary(adversary)
+    return env, link
+
+
+def ship_serially(env, link, payloads, on_receive=None, gap=10.0):
+    """Drive ``link.ship`` once per payload, ``gap`` seconds apart.
+
+    Returns the list of transport acks (one per ship round trip).
+    """
+    acks = []
+
+    def driver():
+        for payload in payloads:
+            ack = yield from link.ship(payload, on_receive=on_receive)
+            acks.append(ack)
+            yield env.timeout(gap)
+
+    env.process(driver(), name="ship-driver")
+    env.run()
+    return acks
+
+
+# ---------------------------------------------------------------------------
+# Accounting contract
+# ---------------------------------------------------------------------------
+
+
+def test_submitted_splits_exactly_into_delivered_and_lost():
+    env, link = make_link(seed=11, loss_probability=0.4)
+    acks = ship_serially(env, link, list(range(200)))
+    stats = link.stats
+    assert stats.submitted == 200
+    assert stats.submitted == stats.delivered + stats.lost
+    assert stats.rejected == 0
+    assert 0 < stats.lost < 200
+    assert sum(acks) == stats.delivered
+
+
+def test_preflight_refusal_charges_rejected_only():
+    env, link = make_link(seed=3)
+    link.set_available(False)
+    acks = ship_serially(env, link, ["r1", "r2"])
+    assert acks == [False, False]
+    assert link.stats.rejected == 2
+    assert link.stats.submitted == 0
+    assert link.stats.lost == 0
+
+
+def test_mid_flight_outage_charges_lost_not_silence():
+    """The old ``transfer`` dropped mid-flight outage packets without any
+    counter; the unified exit must charge exactly one ``lost``."""
+    env, link = make_link(seed=5, latency=FIXED)
+
+    def saboteur():
+        yield env.timeout(0.05)
+        link.set_available(False)
+
+    env.process(saboteur(), name="saboteur")
+    acks = ship_serially(env, link, ["only"])
+    assert acks == [False]
+    assert link.stats.submitted == 1
+    assert link.stats.lost == 1
+    assert link.stats.delivered == 0
+
+
+def test_dark_destination_charges_lost():
+    env, link = make_link(seed=5, latency=FIXED)
+    link.dst.power_failure(1000.0)
+    acks = ship_serially(env, link, ["into-the-dark"])
+    assert acks == [False]
+    assert link.stats.submitted == 1
+    assert link.stats.lost == 1
+    assert link.stats.delivered == 0
+
+
+# ---------------------------------------------------------------------------
+# Adversary knobs, one at a time
+# ---------------------------------------------------------------------------
+
+
+def test_reorder_delay_is_bounded_by_horizon():
+    horizon = 5.0
+    env, link = make_link(
+        seed=23, latency=FIXED,
+        adversary=AdversaryModel(reorder_probability=1.0,
+                                 reorder_horizon=horizon),
+    )
+    arrivals = []
+    ship_serially(
+        env, link, list(range(50)),
+        on_receive=lambda pkt: arrivals.append(env.now - pkt.sent_at),
+    )
+    assert len(arrivals) == 50
+    assert link.adversary_stats.reordered == 50
+    for transit in arrivals:
+        assert FIXED.median <= transit <= FIXED.median + horizon
+    # The hold-back is U(0, horizon], not degenerate.
+    assert max(arrivals) > FIXED.median
+    assert len(set(arrivals)) > 1
+
+
+def test_duplicate_copies_ride_independent_latencies():
+    env, link = make_link(
+        seed=29,
+        adversary=AdversaryModel(duplicate_probability=1.0, duplicate_max=4),
+    )
+    packets = []
+    ship_serially(
+        env, link, ["amplified"],
+        on_receive=lambda pkt: packets.append((pkt, env.now)),
+    )
+    primaries = [(p, at) for p, at in packets if not p.duplicate]
+    copies = [(p, at) for p, at in packets if p.duplicate]
+    assert len(primaries) == 1
+    assert 1 <= len(copies) <= 3
+    # Copies are adversary traffic: primary-stream accounting untouched.
+    assert link.stats.submitted == 1
+    assert link.stats.delivered == 1
+    assert link.adversary_stats.duplicates_injected == len(copies)
+    assert link.adversary_stats.duplicates_delivered == len(copies)
+    # Every copy carries the same payload and send stamp but its own delay.
+    sent = primaries[0][0].sent_at
+    assert all(p.payload == "amplified" and p.sent_at == sent
+               for p, _ in packets)
+    assert len({at for _, at in packets}) == len(packets)
+
+
+def test_corrupt_flag_reaches_receiver_and_nack_rides_the_ack():
+    env, link = make_link(
+        seed=31, latency=FIXED,
+        adversary=AdversaryModel(corrupt_probability=1.0),
+    )
+    packets = []
+
+    def receive(pkt):
+        packets.append(pkt)
+        return not pkt.corrupt  # NACK corrupt frames
+
+    acks = ship_serially(env, link, ["tainted"], on_receive=receive)
+    assert [p.corrupt for p in packets] == [True]
+    assert acks == [False]  # receiver's NACK came back through the round trip
+    assert link.adversary_stats.corrupt_injected == 1
+    # The frame *arrived*; rejection is the receiver's, not the pipe's.
+    assert link.stats.delivered == 1
+    assert link.stats.lost == 0
+
+
+def test_pulse_reverts_to_ambient_adversary():
+    env, link = make_link(seed=2)
+    ambient = AdversaryModel(duplicate_probability=0.2)
+    link.set_adversary(ambient)
+    link.adversary_pulse(AdversaryModel.pulse(), 10.0)
+    assert link.adversary == AdversaryModel.pulse()
+    env.run(until=11.0)
+    assert link.adversary == ambient
+
+
+# ---------------------------------------------------------------------------
+# The benign adversary is a perfect no-op
+# ---------------------------------------------------------------------------
+
+
+def test_adversary_off_consumes_no_rng_at_link_level():
+    """Explicitly installing ``off()`` must leave every latency draw — and
+    therefore every arrival time — identical to a link that never heard of
+    the adversary machinery."""
+    times = {}
+    for label, adversary in (("bare", None), ("off", AdversaryModel.off())):
+        env, link = make_link(seed=47, adversary=adversary,
+                              loss_probability=0.1)
+        arrivals = []
+        ship_serially(
+            env, link, list(range(40)),
+            on_receive=lambda pkt: arrivals.append(env.now),
+        )
+        times[label] = (arrivals, link.stats.delivered, link.stats.lost)
+    assert times["bare"] == times["off"]
+
+
+def test_golden_farm_byte_identical_with_adversary_off():
+    """System-level inertness: the pinned golden-farm journals must not
+    move by a byte when every substrate channel carries an explicit
+    ``AdversaryModel.off()``."""
+    golden = GOLDEN_FARM_PATH.read_text()
+    fresh = serialize_farm_journals(
+        run_golden_farm(adversary=AdversaryModel.off())
+    )
+    assert fresh + "\n" == golden

@@ -68,3 +68,27 @@ def test_failover_storm_pin_still_has_teeth():
         stage_factory=silent_drop_stages,
     )
     assert not report.ok
+
+
+def test_adversarial_pin_still_exercises_stabilizing_defenses():
+    """The adversarial pin is only worth keeping while its pulses actually
+    make the stabilizing transport NACK corrupt frames and drop duplicate
+    copies — a clean replay that never fired the defenses guards nothing."""
+    report = replay_reproducer(CHAOS_DIR / "adversarial_ship_link_naive.json")
+    assert report.ok, report.summary()
+    assert report.oracle.info["corrupt_rejected"] >= 1
+    assert report.oracle.info["duplicate_dropped"] >= 1
+    assert report.oracle.info["transport_resends"] >= 1
+
+
+def test_adversarial_pin_still_has_teeth_against_naive_transport():
+    """Replayed with the naive transport instead of the stabilizing one,
+    the same two pulses must still corrupt the standby log and double-apply
+    records — the ablation direction E14 measures."""
+    report = replay_reproducer(
+        CHAOS_DIR / "adversarial_ship_link_naive.json",
+        overrides={"transport": "naive"},
+    )
+    assert not report.ok
+    violated = {v.invariant for v in report.oracle.violations}
+    assert {"no_corrupt_accepted", "stabilized_exactly_once"} <= violated

@@ -36,7 +36,7 @@ def test_unknown_experiment_errors():
 
 
 def test_experiment_registry_complete():
-    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 14)}
+    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 15)}
 
 
 def test_jobs_rejected_for_non_sweep_experiment():
@@ -48,7 +48,7 @@ def test_jobs_rejected_for_non_sweep_experiment():
 def test_jobs_accepted_for_sweep_experiments():
     from repro.__main__ import PARALLEL_EXPERIMENTS
 
-    assert PARALLEL_EXPERIMENTS == {"e10", "e11", "e12"}
+    assert PARALLEL_EXPERIMENTS == {"e10", "e11", "e12", "e14"}
 
 
 def test_shards_rejected_outside_e13():

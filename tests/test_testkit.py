@@ -26,7 +26,11 @@ from repro.testkit import (
     schedule_to_json,
     shrink,
 )
-from repro.testkit.generator import PER_USER_KINDS, per_user_target
+from repro.testkit.generator import (
+    ADVERSARY_FAULT_KINDS,
+    PER_USER_KINDS,
+    per_user_target,
+)
 from repro.testkit.sweep import trial_seed
 from repro.workloads.faultload import (
     TARGET_EMAIL_SERVICE,
@@ -79,9 +83,10 @@ class TestFaultScheduleGenerator:
     def test_full_taxonomy_reachable(self):
         """Every FaultKind appears somewhere across a few seeds.
 
-        The ship-link partition only exists for replicated pairs, so the
-        default generator never draws it — schedules stay bit-for-bit
-        stable for pre-replication seeds.
+        The ship-link partition only exists for replicated pairs and the
+        channel-adversary pulses only for adversarial mode, so the default
+        generator never draws them — schedules stay bit-for-bit stable for
+        pre-replication / pre-adversary seeds.
         """
         intensity = ChaosIntensity(faults_per_hour=60.0)
         seen = set()
@@ -90,7 +95,8 @@ class TestFaultScheduleGenerator:
                 seed=seed, users=USERS, duration=2 * HOUR, intensity=intensity
             )
             seen.update(f.kind for f in gen.generate())
-        assert seen == set(FaultKind) - {FaultKind.REPLICATION_LINK_DOWN}
+        gated = {FaultKind.REPLICATION_LINK_DOWN} | set(ADVERSARY_FAULT_KINDS)
+        assert seen == set(FaultKind) - gated
 
     def test_replication_taxonomy_reachable(self):
         """Replication mode additionally reaches the ship-link partition."""
@@ -102,7 +108,54 @@ class TestFaultScheduleGenerator:
                 intensity=intensity, replication=True,
             )
             seen.update(f.kind for f in gen.generate())
+        assert seen == set(FaultKind) - set(ADVERSARY_FAULT_KINDS)
+
+    def test_adversarial_taxonomy_reachable(self):
+        """Adversarial + replication mode reaches the whole taxonomy."""
+        intensity = ChaosIntensity(faults_per_hour=60.0)
+        seen = set()
+        for seed in range(12):
+            gen = FaultScheduleGenerator(
+                seed=seed, users=USERS, duration=2 * HOUR,
+                intensity=intensity, replication=True, adversarial=True,
+            )
+            seen.update(f.kind for f in gen.generate())
         assert seen == set(FaultKind)
+
+    def test_adversarial_flag_leaves_base_schedules_unchanged(self):
+        """The adversarial kinds ride a separate weight table: a fixed
+        seed's non-adversarial schedule is bit-for-bit what it was before
+        the taxonomy grew."""
+        for replication in (False, True):
+            a = FaultScheduleGenerator(
+                seed=11, users=USERS, replication=replication
+            ).generate()
+            b = FaultScheduleGenerator(
+                seed=11, users=USERS, replication=replication,
+                adversarial=False,
+            ).generate()
+            assert schedule_to_json(a) == schedule_to_json(b)
+
+    def test_adversary_pulses_carry_knob_params(self):
+        """Every pulse pins probability (and its kind-specific knob)."""
+        intensity = ChaosIntensity(faults_per_hour=60.0)
+        pulses = []
+        for seed in range(8):
+            gen = FaultScheduleGenerator(
+                seed=seed, users=USERS, intensity=intensity, adversarial=True
+            )
+            pulses.extend(
+                f for f in gen.generate()
+                if f.kind in ADVERSARY_FAULT_KINDS
+            )
+        assert pulses
+        for fault in pulses:
+            assert 0.0 < fault.params["probability"] <= 1.0
+            assert fault.duration > 0
+            if fault.kind is FaultKind.LINK_REORDER:
+                assert fault.params["horizon"] > 0
+            if fault.kind is FaultKind.LINK_DUPLICATE:
+                assert 2 <= fault.params["copies"] <= 5
 
     def test_targets_are_wireable(self):
         """Every emitted target is one the harness registers a handler for."""
